@@ -1,0 +1,137 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment; see DESIGN.md §2 for the index). Each
+// benchmark executes the corresponding harness once per b.N loop iteration
+// with quick-mode parameters and prints the measured rows, so
+// `go test -bench=.` reproduces the whole evaluation at reduced scale.
+// Environment knobs:
+//
+//	BPSF_BENCH_SHOTS=500   override per-point shot counts
+//	BPSF_BENCH_FULL=1      paper-scale rounds and error-rate grids (slow)
+//
+// `cmd/bpsf-figs -full` regenerates the figures at paper scale and writes
+// CSV series.
+package bpsf
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"bpsf/internal/experiments"
+)
+
+func benchOpts(b *testing.B) experiments.Opts {
+	b.Helper()
+	opts := experiments.Opts{Out: os.Stdout, Seed: 20260608}
+	if v := os.Getenv("BPSF_BENCH_SHOTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			b.Fatalf("bad BPSF_BENCH_SHOTS %q: %v", v, err)
+		}
+		opts.Shots = n
+	}
+	if os.Getenv("BPSF_BENCH_FULL") == "1" {
+		opts.Full = true
+	}
+	return opts
+}
+
+func runExperiment(b *testing.B, name string) {
+	opts := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(name, opts)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Series) == 0 {
+			b.Fatalf("%s: no series produced", name)
+		}
+	}
+}
+
+// BenchmarkFig02ConvergenceTail — Fig. 2: BP iteration tail on
+// J144,12,12K circuit noise.
+func BenchmarkFig02ConvergenceTail(b *testing.B) { runExperiment(b, "fig02") }
+
+// BenchmarkFig03OscillationPrecisionRecall — Fig. 3: oscillating-bit
+// precision/recall vs physical error rate.
+func BenchmarkFig03OscillationPrecisionRecall(b *testing.B) { runExperiment(b, "fig03") }
+
+// BenchmarkFig05CoprimeBB154CodeCapacity — Fig. 5: J154,6,16K code
+// capacity LER curves.
+func BenchmarkFig05CoprimeBB154CodeCapacity(b *testing.B) { runExperiment(b, "fig05") }
+
+// BenchmarkFig06BB288CodeCapacity — Fig. 6: J288,12,18K code capacity.
+func BenchmarkFig06BB288CodeCapacity(b *testing.B) { runExperiment(b, "fig06") }
+
+// BenchmarkFig07BB144Circuit — Fig. 7: J144,12,12K circuit-level LER.
+func BenchmarkFig07BB144Circuit(b *testing.B) { runExperiment(b, "fig07") }
+
+// BenchmarkFig08BB288CircuitLayered — Fig. 8: J288,12,18K circuit-level,
+// layered BP.
+func BenchmarkFig08BB288CircuitLayered(b *testing.B) { runExperiment(b, "fig08") }
+
+// BenchmarkFig09CoprimeBB154Circuit — Fig. 9: J154,6,16K circuit-level.
+func BenchmarkFig09CoprimeBB154Circuit(b *testing.B) { runExperiment(b, "fig09") }
+
+// BenchmarkFig10CoprimeBB126Circuit — Fig. 10: J126,12,10K circuit-level.
+func BenchmarkFig10CoprimeBB126Circuit(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11SHYPS225Circuit — Fig. 11: J225,16,8K SHYPS circuit-level
+// (gauge-measured subsystem code).
+func BenchmarkFig11SHYPS225Circuit(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12ComplexityGrowth — Fig. 12: BP iterations vs LER/round
+// trade-off at p=3e-3.
+func BenchmarkFig12ComplexityGrowth(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13LatencyScaling — Fig. 13: decode latency vs number of
+// error mechanisms across four codes.
+func BenchmarkFig13LatencyScaling(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14AvgDecodeTime — Fig. 14: average decode time per syndrome
+// vs physical error rate.
+func BenchmarkFig14AvgDecodeTime(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15LatencyDistribution — Fig. 15: decode-time distributions
+// (serial vs P-worker pools).
+func BenchmarkFig15LatencyDistribution(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16GPUEstimate — Fig. 16: modeled GPU decode-time
+// distributions.
+func BenchmarkFig16GPUEstimate(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17aGoodCodesCapacity — Fig. 17(a): J72,12,6K and
+// J144,12,12K code capacity.
+func BenchmarkFig17aGoodCodesCapacity(b *testing.B) { runExperiment(b, "fig17a") }
+
+// BenchmarkFig17bGoodCodesCapacity — Fig. 17(b): J126,12,10K and J254,28K
+// code capacity.
+func BenchmarkFig17bGoodCodesCapacity(b *testing.B) { runExperiment(b, "fig17b") }
+
+// BenchmarkFig17cBB72Circuit — Fig. 17(c): J72,12,6K circuit-level.
+func BenchmarkFig17cBB72Circuit(b *testing.B) { runExperiment(b, "fig17c") }
+
+// BenchmarkTable1BPOSDIterationSweep — Table I: BP-OSD latency/accuracy vs
+// BP iteration cap.
+func BenchmarkTable1BPOSDIterationSweep(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2BBConstructions — Table II: BB code construction
+// validation.
+func BenchmarkTable2BBConstructions(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3CoprimeBBConstructions — Table III: coprime-BB
+// construction validation.
+func BenchmarkTable3CoprimeBBConstructions(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkAblationDamping — DESIGN.md decision 1: adaptive vs fixed
+// min-sum normalization.
+func BenchmarkAblationDamping(b *testing.B) { runExperiment(b, "ablation-damping") }
+
+// BenchmarkAblationTrialSampling — DESIGN.md decision 3: exhaustive vs
+// sampled trial vectors at matched budgets.
+func BenchmarkAblationTrialSampling(b *testing.B) { runExperiment(b, "ablation-trials") }
+
+// BenchmarkAblationFirstSuccessVsBest — DESIGN.md decision 4: first-success
+// return vs best-weight selection.
+func BenchmarkAblationFirstSuccessVsBest(b *testing.B) { runExperiment(b, "ablation-first-success") }

@@ -1,0 +1,152 @@
+// Command bpsf-latency measures decoding-time distributions for one code
+// under circuit-level noise: BP-SF (serial and modeled P-worker pools)
+// against BP-OSD, with the modeled GPU estimates — the measurements behind
+// the paper's Figures 13–16 and Table I.
+//
+// Usage:
+//
+//	bpsf-latency -code bb144 -p 0.003 -shots 500 -rounds 6 -workers 2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/bpsf"
+	"bpsf/internal/codes"
+	"bpsf/internal/dem"
+	"bpsf/internal/memexp"
+	"bpsf/internal/osd"
+	"bpsf/internal/sim"
+	"bpsf/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bpsf-latency: ")
+	codeName := flag.String("code", "bb144", "code: "+fmt.Sprint(codes.Names()))
+	p := flag.Float64("p", 0.003, "physical error rate")
+	shots := flag.Int("shots", 300, "number of samples")
+	seed := flag.Int64("seed", 1, "sampler seed")
+	rounds := flag.Int("rounds", 0, "extraction rounds (0 = code default)")
+	bpIters := flag.Int("bp-iters", 100, "BP-SF iteration cap")
+	osdIters := flag.Int("osd-bp-iters", 1000, "BP-OSD BP iteration cap")
+	workersFlag := flag.String("workers", "2,4,8", "modeled worker pool sizes")
+	flag.Parse()
+
+	entry, ok := codes.Catalog()[*codeName]
+	if !ok {
+		log.Fatalf("unknown code %q (known: %v)", *codeName, codes.Names())
+	}
+	css, err := entry.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := *rounds
+	if r == 0 {
+		r = entry.Rounds
+	}
+	circ, err := memexp.Build(css, r, memexp.Uniform())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := dem.Extract(circ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, %d rounds, %d mechanisms, p=%g, %d shots\n", css.Name, r, d.NumMechs(), *p, *shots)
+
+	var workers []int
+	for _, tok := range strings.Split(*workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || w < 1 {
+			log.Fatalf("bad -workers entry %q", tok)
+		}
+		workers = append(workers, w)
+	}
+
+	cfg := sim.Config{P: *p, Shots: *shots, Seed: *seed, KeepRecords: true}
+
+	osdMk := func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
+		return sim.NewBPOSD(h, priors, bp.Config{MaxIter: *osdIters},
+			osd.Config{Method: osd.OSDCS, Order: 10}), nil
+	}
+	osdRes, err := sim.RunCircuit(d, r, osdMk, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sfMk := func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
+		return sim.NewBPSF(h, priors, bpsf.Config{
+			Init:    bp.Config{MaxIter: *bpIters},
+			Trial:   bp.Config{MaxIter: *bpIters},
+			PhiSize: 50,
+			WMax:    10,
+			NS:      10,
+			Policy:  bpsf.Sampled,
+			Seed:    *seed,
+		})
+	}
+	sfRes, err := sim.RunCircuit(d, r, sfMk, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// convert schedule-model iteration units to time via the measured
+	// per-iteration cost
+	var totTime time.Duration
+	totIters := 0
+	for _, rec := range sfRes.Records {
+		totTime += rec.Time
+		totIters += rec.Iterations
+	}
+	iterUnit := time.Duration(0)
+	if totIters > 0 {
+		iterUnit = totTime / time.Duration(totIters)
+	}
+
+	gpu := sim.DefaultGPUModel()
+	tb := sim.NewTable("decoder", "LER/round", "min ms", "median ms", "avg ms", "max ms")
+	ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
+	row := func(label string, lerRound float64, ds []time.Duration) {
+		st := sim.SummarizeDurations(ds)
+		tb.Row(label, lerRound, ms(st.Min), ms(st.Median), ms(st.Avg), ms(st.Max))
+	}
+
+	times := func(recs []sim.Record) []time.Duration {
+		out := make([]time.Duration, len(recs))
+		for i, rec := range recs {
+			out[i] = rec.Time
+		}
+		return out
+	}
+	row(osdRes.Decoder, osdRes.LERRound, times(osdRes.Records))
+	row(sfRes.Decoder+" serial", sfRes.LERRound, times(sfRes.Records))
+	for _, w := range workers {
+		modeled := make([]time.Duration, len(sfRes.Records))
+		for i, rec := range sfRes.Records {
+			iters := sim.ScheduleLatency(rec.InitIterations, rec.TrialIterations, rec.TrialSuccess, w)
+			modeled[i] = time.Duration(iters) * iterUnit
+		}
+		row(fmt.Sprintf("BP-SF P=%d (model)", w), sfRes.LERRound, modeled)
+	}
+	var gpuEst []time.Duration
+	for _, rec := range sfRes.Records {
+		gpuEst = append(gpuEst, gpu.Estimate(sim.Outcome{
+			InitIterations:  rec.InitIterations,
+			TrialIterations: rec.TrialIterations,
+			TrialSuccess:    rec.TrialSuccess,
+		}))
+	}
+	row("BP-SF (GPU_Est)", sfRes.LERRound, gpuEst)
+
+	if err := tb.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Command bpsf-sim runs a single logical-error-rate experiment: one code,
+// one noise model, one decoder configuration, one error rate. It is the
+// composable unit behind bpsf-figs, useful for exploring parameters the
+// figures do not cover.
+//
+// Usage:
+//
+//	bpsf-sim -code bb144 -model circuit -decoder bpsf -p 0.003 -shots 1000 \
+//	         -bp-iters 100 -phi 50 -wmax 10 -ns 10
+//	bpsf-sim -code coprime154 -model capacity -decoder bposd -p 0.05 \
+//	         -bp-iters 1000 -osd-order 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/bpsf"
+	"bpsf/internal/codes"
+	"bpsf/internal/dem"
+	"bpsf/internal/memexp"
+	"bpsf/internal/osd"
+	"bpsf/internal/sim"
+	"bpsf/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bpsf-sim: ")
+	codeName := flag.String("code", "bb144", "code: "+fmt.Sprint(codes.Names()))
+	model := flag.String("model", "capacity", "noise model: capacity | circuit")
+	decoder := flag.String("decoder", "bpsf", "decoder: bp | bposd | bpsf")
+	p := flag.Float64("p", 0.01, "physical error rate")
+	shots := flag.Int("shots", 1000, "number of samples")
+	seed := flag.Int64("seed", 1, "sampler seed")
+	rounds := flag.Int("rounds", 0, "extraction rounds (0 = code default; circuit model)")
+	maxErrs := flag.Int("max-logical-errors", 0, "stop after this many failures (0 = off)")
+
+	bpIters := flag.Int("bp-iters", 100, "BP iteration cap")
+	layered := flag.Bool("layered", false, "layered BP schedule")
+	osdOrder := flag.Int("osd-order", 10, "OSD-CS order (bposd)")
+	phi := flag.Int("phi", 50, "BP-SF candidate set size |Φ|")
+	wmax := flag.Int("wmax", 10, "BP-SF maximum trial weight")
+	ns := flag.Int("ns", 10, "BP-SF sampled trials per weight (0 = exhaustive)")
+	workers := flag.Int("workers", 0, "BP-SF parallel trial workers")
+	flag.Parse()
+
+	entry, ok := codes.Catalog()[*codeName]
+	if !ok {
+		log.Fatalf("unknown code %q (known: %v)", *codeName, codes.Names())
+	}
+	css, err := entry.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sched := bp.Flooding
+	if *layered {
+		sched = bp.Layered
+	}
+	mk := func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
+		switch *decoder {
+		case "bp":
+			return sim.NewBP(h, priors, bp.Config{MaxIter: *bpIters, Schedule: sched}), nil
+		case "bposd":
+			return sim.NewBPOSD(h, priors,
+				bp.Config{MaxIter: *bpIters, Schedule: sched},
+				osd.Config{Method: osd.OSDCS, Order: *osdOrder}), nil
+		case "bpsf":
+			cfg := bpsf.Config{
+				Init:    bp.Config{MaxIter: *bpIters, Schedule: sched},
+				Trial:   bp.Config{MaxIter: *bpIters, Schedule: sched},
+				PhiSize: *phi,
+				WMax:    *wmax,
+				NS:      *ns,
+				Policy:  bpsf.Sampled,
+				Workers: *workers,
+				Seed:    *seed,
+			}
+			if *ns == 0 {
+				cfg.Policy = bpsf.Exhaustive
+			}
+			return sim.NewBPSF(h, priors, cfg)
+		default:
+			return nil, fmt.Errorf("unknown decoder %q", *decoder)
+		}
+	}
+
+	cfg := sim.Config{P: *p, Shots: *shots, Seed: *seed, MaxLogicalErrors: *maxErrs}
+	var res *sim.Result
+	switch *model {
+	case "capacity":
+		res, err = sim.RunCapacity(css, mk, cfg)
+	case "circuit":
+		r := *rounds
+		if r == 0 {
+			r = entry.Rounds
+		}
+		circ, berr := memexp.Build(css, r, memexp.Uniform())
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		var d *dem.DEM
+		d, err = dem.Extract(circ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("DEM: %d detectors, %d mechanisms\n", d.NumDets, d.NumMechs())
+		res, err = sim.RunCircuit(d, r, mk, cfg)
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := sim.NewTable("decoder", "p", "shots", "failures", "LER", "LER/round", "avg iters", "avg ms", "post used")
+	tb.Row(res.Decoder, res.P, res.Shots, res.Failures, res.LER, res.LERRound,
+		res.AvgIters, float64(res.AvgTime.Microseconds())/1000, res.PostUsed)
+	if err := tb.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

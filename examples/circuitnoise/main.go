@@ -1,0 +1,66 @@
+// Circuit-level study in the style of the paper's Figure 7: build the
+// J144,12,12K syndrome-extraction memory experiment, extract its detector
+// error model, and compare BP-SF against BP-OSD and plain BP on sampled
+// shots.
+//
+//	go run ./examples/circuitnoise -rounds 6 -shots 200 -p 0.003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bpsf"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 4, "syndrome-extraction rounds (paper uses d=12)")
+	shots := flag.Int("shots", 200, "samples")
+	p := flag.Float64("p", 0.003, "physical error rate")
+	flag.Parse()
+
+	code, err := bpsf.NewCode("bb144")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("building %d-round memory experiment for %s ...\n", *rounds, code.Name)
+	d, err := bpsf.BuildMemoryDEM(code, *rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detector error model: %d detectors, %d error mechanisms, %d observables\n\n",
+		d.NumDets, d.NumMechs(), d.NumObs)
+
+	decoders := []struct {
+		label string
+		mk    bpsf.Factory
+	}{
+		{"BP-SF (BP100, wmax=10, |Φ|=50, ns=10)", func(h *bpsf.Matrix, priors []float64) (bpsf.Decoder, error) {
+			return bpsf.NewBPSFDecoder(h, priors, bpsf.BPSFConfig{
+				Init:    bpsf.BPConfig{MaxIter: 100},
+				Trial:   bpsf.BPConfig{MaxIter: 100},
+				PhiSize: 50, WMax: 10, NS: 10, Policy: bpsf.Sampled,
+			})
+		}},
+		{"BP1000-OSD10", func(h *bpsf.Matrix, priors []float64) (bpsf.Decoder, error) {
+			return bpsf.NewBPOSDDecoder(h, priors,
+				bpsf.BPConfig{MaxIter: 1000},
+				bpsf.OSDConfig{Method: bpsf.OSDCS, Order: 10}), nil
+		}},
+		{"BP1000", func(h *bpsf.Matrix, priors []float64) (bpsf.Decoder, error) {
+			return bpsf.NewBPDecoder(h, priors, bpsf.BPConfig{MaxIter: 1000}), nil
+		}},
+	}
+
+	fmt.Printf("%-40s %10s %12s %12s %10s\n", "decoder", "failures", "LER", "LER/round", "avg ms")
+	for _, dec := range decoders {
+		res, err := bpsf.RunCircuit(d, *rounds, dec.mk, bpsf.MCConfig{P: *p, Shots: *shots, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s %10d %12.3e %12.3e %10.2f\n",
+			dec.label, res.Failures, res.LER, res.LERRound,
+			float64(res.AvgTime.Microseconds())/1000)
+	}
+}

@@ -1,0 +1,53 @@
+package bp
+
+import (
+	"testing"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/gf2"
+	"bpsf/internal/tanner"
+)
+
+// BenchmarkIterationBB144Capacity measures raw min-sum iteration throughput
+// on the code-capacity Tanner graph of the gross code.
+func BenchmarkIterationBB144Capacity(b *testing.B) {
+	c, err := codes.BB144()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := tanner.New(c.HZ)
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.01
+	}
+	d := New(g, probs, Config{MaxIter: 1})
+	s := gf2.NewVec(g.M)
+	s.Set(3, true)
+	s.Set(17, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Decode(s) // exactly 1 iteration (will not converge)
+	}
+	b.ReportMetric(float64(g.E), "edges")
+}
+
+// BenchmarkDecodeBB144Hard measures a full failing decode at the trial cap.
+func BenchmarkDecodeBB144Hard(b *testing.B) {
+	c, err := codes.BB144()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := tanner.New(c.HZ)
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.01
+	}
+	d := New(g, probs, Config{MaxIter: 100})
+	// weight-1 syndrome: inconsistent-looking target that BP cannot satisfy
+	s := gf2.NewVec(g.M)
+	s.Set(3, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Decode(s)
+	}
+}

@@ -1,0 +1,174 @@
+package bp
+
+import (
+	"math"
+
+	"bpsf/internal/gf2"
+)
+
+// Variant selects the check-node update rule.
+type Variant int
+
+const (
+	// MinSum is the normalized min-sum rule of the paper (Eq. 6) with the
+	// adaptive damping factor. Default.
+	MinSum Variant = iota
+	// SumProduct is the exact belief-propagation check rule
+	// (2·atanh ∏ tanh(m/2)), the "more advanced BP-based technique" the
+	// paper's conclusion suggests as a drop-in for the inner decoder.
+	// Roughly 2× slower per iteration than min-sum but better calibrated
+	// marginals on dense detector-error models. The damping factor is not
+	// applied (sum-product needs no normalization).
+	SumProduct
+)
+
+func (v Variant) String() string {
+	switch v {
+	case MinSum:
+		return "min-sum"
+	case SumProduct:
+		return "sum-product"
+	default:
+		return "unknown"
+	}
+}
+
+// tanh-domain magnitudes are clamped to keep atanh finite and messages
+// bounded.
+const (
+	maxTanhMsg = 0.999999
+	minTanhAbs = 1e-20
+)
+
+// spCheckUpdate computes sum-product outputs for one check given extrinsic
+// inputs in d.spIn[0:deg], writing outputs to d.spOut[0:deg]. The sign of
+// the syndrome bit is folded in by the caller via base = ±1.
+func spCheckUpdate(in, out []float64, base float64) {
+	prod := 1.0
+	zeros := 0
+	zeroIdx := -1
+	for i, m := range in {
+		t := math.Tanh(m / 2)
+		if math.Abs(t) < minTanhAbs {
+			zeros++
+			zeroIdx = i
+			continue
+		}
+		prod *= t
+	}
+	for i := range in {
+		var ratio float64
+		switch {
+		case zeros == 0:
+			ratio = prod / math.Tanh(in[i]/2)
+		case zeros == 1 && i == zeroIdx:
+			ratio = prod
+		default:
+			ratio = 0
+		}
+		if ratio > maxTanhMsg {
+			ratio = maxTanhMsg
+		} else if ratio < -maxTanhMsg {
+			ratio = -maxTanhMsg
+		}
+		out[i] = base * 2 * math.Atanh(ratio)
+	}
+}
+
+// floodIterationSP performs one flooding sum-product iteration with the
+// same staging as floodIteration (deltas committed after the full check
+// pass). Returns whether the hard decision satisfies s.
+func (d *Decoder) floodIterationSP(s gf2.Vec) bool {
+	g := d.g
+	c2v := d.c2v
+	marg := d.marginal
+	vars := g.EdgeVar
+	if d.delta == nil || len(d.delta) != g.N {
+		d.delta = make([]float32, g.N)
+	}
+	delta := d.delta
+	for v := range delta {
+		delta[v] = 0
+	}
+	maxDeg := 0
+	if d.spIn == nil {
+		for c := 0; c < g.M; c++ {
+			if deg := g.CheckDegree(c); deg > maxDeg {
+				maxDeg = deg
+			}
+		}
+		d.spIn = make([]float64, maxDeg)
+		d.spOut = make([]float64, maxDeg)
+	}
+	for c := 0; c < g.M; c++ {
+		lo, hi := g.CheckPtr[c], g.CheckPtr[c+1]
+		deg := hi - lo
+		in := d.spIn[:deg]
+		out := d.spOut[:deg]
+		for k := 0; k < deg; k++ {
+			e := lo + k
+			in[k] = float64(marg[vars[e]] - c2v[e])
+		}
+		base := 1.0
+		if s.Get(c) {
+			base = -1
+		}
+		spCheckUpdate(in, out, base)
+		for k := 0; k < deg; k++ {
+			e := lo + k
+			v := vars[e]
+			nw := float32(out[k])
+			delta[v] += nw - c2v[e]
+			c2v[e] = nw
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		marg[v] += delta[v]
+		d.hard.Set(v, marg[v] <= 0)
+	}
+	return d.syndromeMatches(s)
+}
+
+// layeredIterationSP is the serial-schedule sum-product sweep.
+func (d *Decoder) layeredIterationSP(s gf2.Vec) bool {
+	g := d.g
+	c2v := d.c2v
+	marg := d.marginal
+	vars := g.EdgeVar
+	if d.spIn == nil {
+		maxDeg := 0
+		for c := 0; c < g.M; c++ {
+			if deg := g.CheckDegree(c); deg > maxDeg {
+				maxDeg = deg
+			}
+		}
+		d.spIn = make([]float64, maxDeg)
+		d.spOut = make([]float64, maxDeg)
+	}
+	for c := 0; c < g.M; c++ {
+		lo, hi := g.CheckPtr[c], g.CheckPtr[c+1]
+		deg := hi - lo
+		in := d.spIn[:deg]
+		out := d.spOut[:deg]
+		for k := 0; k < deg; k++ {
+			e := lo + k
+			in[k] = float64(marg[vars[e]] - c2v[e])
+		}
+		base := 1.0
+		if s.Get(c) {
+			base = -1
+		}
+		spCheckUpdate(in, out, base)
+		for k := 0; k < deg; k++ {
+			e := lo + k
+			v := vars[e]
+			nw := float32(out[k])
+			marg[v] += nw - c2v[e]
+			c2v[e] = nw
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		d.hard.Set(v, marg[v] <= 0)
+	}
+	return d.syndromeMatches(s)
+}

@@ -1,0 +1,108 @@
+package bposd
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/codes"
+	"bpsf/internal/gf2"
+	"bpsf/internal/osd"
+)
+
+func TestBPOSDDecodesLowWeight(t *testing.T) {
+	c, err := codes.BB144()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.01
+	}
+	d := New(c.HZ, probs, bp.Config{MaxIter: 100}, osd.Config{Method: osd.OSDCS, Order: 10})
+	r := rand.New(rand.NewSource(80))
+	failures := 0
+	for trial := 0; trial < 30; trial++ {
+		e := gf2.NewVec(c.N)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			e.Set(r.Intn(c.N), true)
+		}
+		s := c.SyndromeOfX(e)
+		res := d.Decode(s)
+		if !res.Success {
+			t.Fatal("BP-OSD failed on consistent syndrome")
+		}
+		if !c.SyndromeOfX(res.ErrHat).Equal(s) {
+			t.Fatal("estimate does not satisfy syndrome")
+		}
+		resid := e.Clone()
+		resid.Xor(res.ErrHat)
+		if c.IsLogicalX(resid) {
+			failures++
+		}
+	}
+	if failures > 0 {
+		t.Fatalf("%d logical failures on weight ≤3 errors", failures)
+	}
+}
+
+func TestBPOSDInvokesOSDOnHardSyndrome(t *testing.T) {
+	c, err := codes.CoprimeBB154()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	// starve BP so OSD must run
+	d := New(c.HZ, probs, bp.Config{MaxIter: 2}, osd.Config{Method: osd.OSDCS, Order: 10})
+	r := rand.New(rand.NewSource(81))
+	osdUsed := false
+	for trial := 0; trial < 20 && !osdUsed; trial++ {
+		e := gf2.NewVec(c.N)
+		for k := 0; k < 8; k++ {
+			e.Set(r.Intn(c.N), true)
+		}
+		s := c.SyndromeOfX(e)
+		res := d.Decode(s)
+		if res.OSDUsed {
+			osdUsed = true
+			if !res.Success {
+				t.Fatal("OSD failed on consistent syndrome")
+			}
+			if !c.SyndromeOfX(res.ErrHat).Equal(s) {
+				t.Fatal("OSD estimate does not satisfy syndrome")
+			}
+			if res.OSDTime <= 0 {
+				t.Fatal("OSD time not recorded")
+			}
+		}
+	}
+	if !osdUsed {
+		t.Fatal("OSD never invoked despite starved BP")
+	}
+}
+
+func TestBPOSDTimings(t *testing.T) {
+	c, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.01
+	}
+	d := New(c.HZ, probs, bp.Config{MaxIter: 50}, osd.Config{Method: osd.OSD0})
+	e := gf2.VecFromSupport(c.N, []int{5})
+	res := d.Decode(c.SyndromeOfX(e))
+	if !res.Success || res.OSDUsed {
+		t.Fatal("easy decode should not use OSD")
+	}
+	if res.BPTime <= 0 {
+		t.Fatal("BP time not recorded")
+	}
+	if res.BPIterations < 1 {
+		t.Fatal("iteration count missing")
+	}
+}

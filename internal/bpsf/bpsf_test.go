@@ -1,0 +1,322 @@
+package bpsf
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/codes"
+	"bpsf/internal/gf2"
+)
+
+func TestSelectCandidatesOrdering(t *testing.T) {
+	flips := []int{0, 5, 2, 5, 1}
+	marg := []float64{0.1, -3.0, 1.0, 0.5, 2.0}
+	phi := SelectCandidates(flips, marg, 3)
+	// counts: idx1=5, idx3=5 (tie: |0.5| < |3.0| → idx3 first), idx2=2
+	if len(phi) != 3 || phi[0] != 3 || phi[1] != 1 || phi[2] != 2 {
+		t.Fatalf("phi = %v, want [3 1 2]", phi)
+	}
+}
+
+func TestSelectCandidatesFallbackAllZero(t *testing.T) {
+	flips := []int{0, 0, 0, 0}
+	marg := []float64{5, -0.2, 3, 0.9}
+	phi := SelectCandidates(flips, marg, 2)
+	if len(phi) != 2 || phi[0] != 1 || phi[1] != 3 {
+		t.Fatalf("fallback phi = %v, want [1 3]", phi)
+	}
+}
+
+func TestSelectCandidatesClamp(t *testing.T) {
+	if got := SelectCandidates([]int{1, 2}, []float64{0, 0}, 10); len(got) != 2 {
+		t.Fatalf("clamped phi size = %d, want 2", len(got))
+	}
+	if got := SelectCandidates([]int{1, 2}, []float64{0, 0}, 0); got != nil {
+		t.Fatal("phi=0 should return nil")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	p, r := PrecisionRecall([]int{1, 2, 3, 4}, []int{2, 4, 9})
+	if p != 0.5 || r < 0.66 || r > 0.67 {
+		t.Fatalf("precision=%v recall=%v", p, r)
+	}
+	p, r = PrecisionRecall(nil, []int{1})
+	if p != 0 || r != 0 {
+		t.Fatal("empty candidates should give 0/0")
+	}
+}
+
+func TestExhaustiveTrialsWeightOne(t *testing.T) {
+	phi := []int{7, 3, 9}
+	trials, err := GenerateTrials(phi, Exhaustive, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 3 {
+		t.Fatalf("trials = %v", trials)
+	}
+	for i, tr := range trials {
+		if len(tr) != 1 || tr[0] != phi[i] {
+			t.Fatalf("trial %d = %v", i, tr)
+		}
+	}
+}
+
+func TestExhaustiveTrialsWeightTwo(t *testing.T) {
+	phi := []int{1, 2, 3, 4}
+	trials, err := GenerateTrials(phi, Exhaustive, 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(4,1) + C(4,2) = 4 + 6
+	if len(trials) != 10 {
+		t.Fatalf("got %d trials, want 10", len(trials))
+	}
+	// first trials are weight 1, later weight 2
+	if len(trials[0]) != 1 || len(trials[9]) != 2 {
+		t.Fatal("weight ordering wrong")
+	}
+}
+
+func TestExhaustiveTrialsClampWMax(t *testing.T) {
+	trials, err := GenerateTrials([]int{1, 2}, Exhaustive, 5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights 1 and 2 only: 2 + 1
+	if len(trials) != 3 {
+		t.Fatalf("got %d trials, want 3", len(trials))
+	}
+}
+
+func TestSampledTrials(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	phi := []int{10, 20, 30, 40, 50}
+	trials, err := GenerateTrials(phi, Sampled, 3, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 12 { // ns × wmax
+		t.Fatalf("got %d trials, want 12", len(trials))
+	}
+	inPhi := map[int]bool{}
+	for _, p := range phi {
+		inPhi[p] = true
+	}
+	for k, tr := range trials {
+		wantW := k/4 + 1
+		if len(tr) != wantW {
+			t.Fatalf("trial %d weight %d, want %d", k, len(tr), wantW)
+		}
+		seen := map[int]bool{}
+		for _, c := range tr {
+			if !inPhi[c] {
+				t.Fatalf("trial bit %d not in Φ", c)
+			}
+			if seen[c] {
+				t.Fatalf("duplicate bit in trial %v", tr)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestGenerateTrialsErrors(t *testing.T) {
+	if _, err := GenerateTrials([]int{1}, Exhaustive, 0, 0, nil); err == nil {
+		t.Fatal("wMax=0 accepted")
+	}
+	if _, err := GenerateTrials([]int{1}, Sampled, 1, 0, nil); err == nil {
+		t.Fatal("ns=0 accepted for sampled")
+	}
+	if _, err := GenerateTrials([]int{1}, TrialPolicy(9), 1, 1, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestTrialPolicyString(t *testing.T) {
+	if Exhaustive.String() != "exhaustive" || Sampled.String() != "sampled" || TrialPolicy(9).String() != "unknown" {
+		t.Fatal("TrialPolicy.String wrong")
+	}
+}
+
+func TestNewConfigValidation(t *testing.T) {
+	c, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.01
+	}
+	if _, err := New(c.HZ, probs, Config{PhiSize: 0, WMax: 1}); err == nil {
+		t.Fatal("PhiSize=0 accepted")
+	}
+	if _, err := New(c.HZ, probs, Config{PhiSize: 4, WMax: 0}); err == nil {
+		t.Fatal("WMax=0 accepted")
+	}
+	if _, err := New(c.HZ, probs, Config{PhiSize: 4, WMax: 1, Policy: Sampled}); err == nil {
+		t.Fatal("Sampled with NS=0 accepted")
+	}
+}
+
+// decodeMany drives BP-SF over random errors and verifies the flip-back
+// invariant: any successful estimate must satisfy the ORIGINAL syndrome.
+func decodeMany(t *testing.T, workers int, seed int64) (successes, postUses int) {
+	t.Helper()
+	c, err := codes.CoprimeBB154()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	d, err := New(c.HZ, probs, Config{
+		Init:    bp.Config{MaxIter: 12},
+		Trial:   bp.Config{MaxIter: 50},
+		PhiSize: 8,
+		WMax:    2,
+		Policy:  Exhaustive,
+		Workers: workers,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 40; trial++ {
+		e := gf2.NewVec(c.N)
+		for k := 0; k < 3+r.Intn(6); k++ {
+			e.Set(r.Intn(c.N), true)
+		}
+		s := c.SyndromeOfX(e)
+		res := d.Decode(s)
+		if res.UsedPostProcessing {
+			postUses++
+		}
+		if res.Success {
+			successes++
+			if !c.SyndromeOfX(res.ErrHat).Equal(s) {
+				t.Fatalf("flip-back invariant violated: estimate does not satisfy original syndrome (workers=%d trial=%d)", workers, trial)
+			}
+		}
+		if res.InitIterations < 1 {
+			t.Fatal("missing init iterations")
+		}
+		if res.UsedPostProcessing && res.Success && res.WinningTrial < 0 {
+			t.Fatal("post-processing success without winning trial")
+		}
+		if res.TotalIterations < res.InitIterations {
+			t.Fatal("total iterations below init iterations")
+		}
+		if res.FullParallelIterations > res.TotalIterations {
+			t.Fatal("full-parallel latency exceeds serial latency")
+		}
+	}
+	return successes, postUses
+}
+
+func TestDecodeSerialFlipBackInvariant(t *testing.T) {
+	succ, post := decodeMany(t, 1, 90)
+	if succ == 0 {
+		t.Fatal("no successes at all")
+	}
+	if post == 0 {
+		t.Fatal("post-processing never exercised (errors too easy)")
+	}
+}
+
+func TestDecodeParallelFlipBackInvariant(t *testing.T) {
+	succ, post := decodeMany(t, 4, 90)
+	if succ == 0 {
+		t.Fatal("no successes at all")
+	}
+	if post == 0 {
+		t.Fatal("post-processing never exercised")
+	}
+}
+
+func TestSerialAndParallelAgreeOnSuccess(t *testing.T) {
+	// identical seeds ⇒ same syndromes; success sets should match
+	// (specific error estimates may differ, both valid)
+	s1, _ := decodeMany(t, 1, 91)
+	s2, _ := decodeMany(t, 4, 91)
+	diff := s1 - s2
+	if diff < 0 {
+		diff = -diff
+	}
+	// Exhaustive trials on same syndromes: identical trial sets, so success
+	// counts must be identical.
+	if diff != 0 {
+		t.Fatalf("serial %d vs parallel %d successes", s1, s2)
+	}
+}
+
+func TestDecodeAllTrialsRecordsEverything(t *testing.T) {
+	c, err := codes.CoprimeBB154()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	d, err := New(c.HZ, probs, Config{
+		Init:            bp.Config{MaxIter: 8},
+		Trial:           bp.Config{MaxIter: 40},
+		PhiSize:         6,
+		WMax:            1,
+		Policy:          Exhaustive,
+		DecodeAllTrials: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(92))
+	sawPost := false
+	for trial := 0; trial < 30; trial++ {
+		e := gf2.NewVec(c.N)
+		for k := 0; k < 5; k++ {
+			e.Set(r.Intn(c.N), true)
+		}
+		res := d.Decode(c.SyndromeOfX(e))
+		if res.UsedPostProcessing && res.Trials > 0 {
+			sawPost = true
+			if len(res.TrialIterations) != res.Trials {
+				t.Fatalf("recorded %d trial iteration counts, want %d", len(res.TrialIterations), res.Trials)
+			}
+		}
+	}
+	if !sawPost {
+		t.Fatal("post-processing never exercised")
+	}
+}
+
+func TestDecodeEasySyndromeSkipsPostProcessing(t *testing.T) {
+	c, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.01
+	}
+	d, err := New(c.HZ, probs, Config{
+		Init:    bp.Config{MaxIter: 100},
+		PhiSize: 4,
+		WMax:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := gf2.VecFromSupport(c.N, []int{10})
+	res := d.Decode(c.SyndromeOfX(e))
+	if !res.Success || res.UsedPostProcessing {
+		t.Fatalf("single error should decode in the initial attempt: %+v", res)
+	}
+	if res.WinningTrial != -1 || res.Trials != 0 {
+		t.Fatal("no trials should be recorded")
+	}
+}

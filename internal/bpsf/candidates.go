@@ -1,0 +1,80 @@
+// Package bpsf implements the paper's contribution: BP-SF, belief
+// propagation with oscillation-guided speculative syndrome-flip
+// post-processing (Algorithm 1).
+//
+// When the initial BP attempt fails, the decoder selects the |Φ| most
+// frequently oscillating bits, generates trial vectors t over Φ, flips each
+// trial into the syndrome domain (s' = s ⊕ tHᵀ), decodes every s' with
+// short-depth BP — serially or across parallel workers — and returns the
+// first success with the flipped bits restored (ê ⊕ t), which by linearity
+// satisfies the original syndrome.
+package bpsf
+
+import (
+	"math"
+	"sort"
+)
+
+// SelectCandidates returns the indices of the phi most frequently flipped
+// bits (the oscillation set Φ of the paper's §III-B).
+//
+// Ties are broken toward the smaller posterior |LLR| (less reliable bit),
+// then the smaller index, making selection deterministic. If every flip
+// count is zero (BP failed without oscillating), the least reliable bits by
+// |marginal| are chosen instead so that post-processing still has targets.
+func SelectCandidates(flipCount []int, marginal []float64, phi int) []int {
+	n := len(flipCount)
+	if phi > n {
+		phi = n
+	}
+	if phi <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	allZero := true
+	for _, f := range flipCount {
+		if f != 0 {
+			allZero = false
+			break
+		}
+	}
+	absm := func(i int) float64 { return math.Abs(marginal[i]) }
+	if allZero {
+		sort.SliceStable(idx, func(a, b int) bool { return absm(idx[a]) < absm(idx[b]) })
+	} else {
+		sort.SliceStable(idx, func(a, b int) bool {
+			fa, fb := flipCount[idx[a]], flipCount[idx[b]]
+			if fa != fb {
+				return fa > fb
+			}
+			return absm(idx[a]) < absm(idx[b])
+		})
+	}
+	out := make([]int, phi)
+	copy(out, idx[:phi])
+	return out
+}
+
+// PrecisionRecall computes the paper's Fig 3 metrics: the fraction of
+// candidate bits that are true errors (precision) and the fraction of true
+// errors covered by the candidates (recall). trueSupport must be the sorted
+// support of the injected error.
+func PrecisionRecall(candidates []int, trueSupport []int) (precision, recall float64) {
+	if len(candidates) == 0 || len(trueSupport) == 0 {
+		return 0, 0
+	}
+	inTrue := make(map[int]bool, len(trueSupport))
+	for _, i := range trueSupport {
+		inTrue[i] = true
+	}
+	hits := 0
+	for _, c := range candidates {
+		if inTrue[c] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(candidates)), float64(hits) / float64(len(trueSupport))
+}

@@ -1,0 +1,312 @@
+package bpsf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/gf2"
+	"bpsf/internal/sparse"
+	"bpsf/internal/tanner"
+)
+
+// Config parameterizes a BP-SF decoder. The paper's notation: a decoder
+// labelled "BP-SF, BP100, wmax=10, |Φ|=50, ns=10" has InitMaxIter=100 (and
+// trial BP of the same depth), WMax=10, PhiSize=50, NS=10.
+type Config struct {
+	// Init configures the initial BP attempt (oscillation tracking is
+	// forced on).
+	Init bp.Config
+	// Trial configures the short-depth BP used for each trial syndrome.
+	// Zero value inherits Init (without oscillation tracking).
+	Trial bp.Config
+	// PhiSize is |Φ|, the number of oscillating bits kept as candidates.
+	PhiSize int
+	// WMax is the maximum trial-vector weight.
+	WMax int
+	// NS is the number of sampled trial vectors per weight (Sampled policy).
+	NS int
+	// Policy selects exhaustive (code capacity) or sampled (circuit level)
+	// trial generation.
+	Policy TrialPolicy
+	// Workers > 1 decodes trials on that many parallel goroutines with
+	// first-success cancellation; 0 or 1 decodes serially.
+	Workers int
+	// Seed seeds the trial-sampling RNG (Sampled policy).
+	Seed int64
+	// DecodeAllTrials keeps decoding after the first success so that every
+	// trial's iteration count is recorded (needed by the latency schedule
+	// model and the GPU estimator). Serial engine only; the returned error
+	// estimate is still the first success.
+	DecodeAllTrials bool
+}
+
+// Result reports a BP-SF decode.
+type Result struct {
+	// Success is true when either the initial BP or a trial converged.
+	Success bool
+	// ErrHat is the estimated error (flip-back already applied); always
+	// satisfies the original syndrome when Success.
+	ErrHat gf2.Vec
+	// InitIterations is the iteration count of the initial BP attempt.
+	InitIterations int
+	// UsedPostProcessing is true when the speculative stage ran.
+	UsedPostProcessing bool
+	// Candidates is the oscillation set Φ (nil when post-processing was not
+	// needed).
+	Candidates []int
+	// Trials is the number of trial vectors generated.
+	Trials int
+	// TrialIterations[k] is the iteration count of the k-th decoded trial,
+	// in decode order (serial engine) or completion order (parallel
+	// engine). With DecodeAllTrials it covers every trial.
+	TrialIterations []int
+	// TrialSuccess[k] reports whether the k-th decoded trial converged
+	// (parallel order matches TrialIterations). Used by the worker-schedule
+	// latency model.
+	TrialSuccess []bool
+	// WinningTrial is the index (into TrialIterations order) of the
+	// successful trial, or -1.
+	WinningTrial int
+	// TotalIterations is the serial-accounting complexity: initial
+	// iterations plus cumulative trial iterations until first success
+	// (paper §V-C).
+	TotalIterations int
+	// FullParallelIterations is the latency in BP-iteration units assuming
+	// one worker per trial: init iterations + the winning trial's
+	// iterations (or the trial cap when all fail).
+	FullParallelIterations int
+	// InitTime and PostTime are the wall-clock stage durations.
+	InitTime, PostTime time.Duration
+}
+
+// Decoder decodes syndromes of a fixed parity-check matrix with BP-SF. It
+// is not safe for concurrent use (each goroutine needs its own Decoder);
+// internally it owns per-worker BP clones for the parallel trial stage.
+type Decoder struct {
+	h   *sparse.Mat
+	g   *tanner.Graph
+	cfg Config
+
+	init    *bp.Decoder
+	trial   *bp.Decoder
+	workers []*bp.Decoder
+	rng     *rand.Rand
+}
+
+// New builds a BP-SF decoder for parity-check matrix h with per-bit error
+// probabilities probs.
+func New(h *sparse.Mat, probs []float64, cfg Config) (*Decoder, error) {
+	if cfg.PhiSize <= 0 {
+		return nil, fmt.Errorf("bpsf: PhiSize must be positive, got %d", cfg.PhiSize)
+	}
+	if cfg.WMax <= 0 {
+		return nil, fmt.Errorf("bpsf: WMax must be positive, got %d", cfg.WMax)
+	}
+	if cfg.Policy == Sampled && cfg.NS <= 0 {
+		return nil, fmt.Errorf("bpsf: NS must be positive for sampled trials")
+	}
+	g := tanner.New(h)
+	initCfg := cfg.Init
+	initCfg.TrackOscillation = true
+	trialCfg := cfg.Trial
+	if trialCfg.MaxIter == 0 {
+		trialCfg = initCfg
+	}
+	trialCfg.TrackOscillation = false
+	d := &Decoder{
+		h:     h,
+		g:     g,
+		cfg:   cfg,
+		init:  bp.New(g, probs, initCfg),
+		trial: bp.New(g, probs, trialCfg),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Workers > 1 {
+		d.workers = make([]*bp.Decoder, cfg.Workers)
+		for i := range d.workers {
+			d.workers[i] = d.trial.Clone()
+		}
+	}
+	return d, nil
+}
+
+// Config returns the decoder configuration.
+func (d *Decoder) Config() Config { return d.cfg }
+
+// Decode runs Algorithm 1 on syndrome s.
+func (d *Decoder) Decode(s gf2.Vec) Result {
+	t0 := time.Now()
+	initRes := d.init.Decode(s)
+	initTime := time.Since(t0)
+	if initRes.Success {
+		return Result{
+			Success:                true,
+			ErrHat:                 initRes.ErrHat,
+			InitIterations:         initRes.Iterations,
+			TotalIterations:        initRes.Iterations,
+			FullParallelIterations: initRes.Iterations,
+			WinningTrial:           -1,
+			InitTime:               initTime,
+		}
+	}
+
+	phi := SelectCandidates(initRes.FlipCount, initRes.Marginal, d.cfg.PhiSize)
+	trials, err := GenerateTrials(phi, d.cfg.Policy, d.cfg.WMax, d.cfg.NS, d.rng)
+	if err != nil {
+		// unusable configuration for this code size; report failure with
+		// the initial BP estimate
+		return Result{
+			Success:                false,
+			ErrHat:                 initRes.ErrHat,
+			InitIterations:         initRes.Iterations,
+			UsedPostProcessing:     true,
+			Candidates:             phi,
+			WinningTrial:           -1,
+			TotalIterations:        initRes.Iterations,
+			FullParallelIterations: initRes.Iterations,
+			InitTime:               initTime,
+		}
+	}
+
+	t1 := time.Now()
+	var res Result
+	if d.cfg.Workers > 1 {
+		res = d.decodeParallel(s, trials)
+	} else {
+		res = d.decodeSerial(s, trials)
+	}
+	res.InitIterations = initRes.Iterations
+	res.UsedPostProcessing = true
+	res.Candidates = phi
+	res.Trials = len(trials)
+	res.InitTime = initTime
+	res.PostTime = time.Since(t1)
+	res.TotalIterations += initRes.Iterations
+	res.FullParallelIterations += initRes.Iterations
+	if !res.Success {
+		res.ErrHat = initRes.ErrHat
+	}
+	return res
+}
+
+// trialSyndrome computes s' = s ⊕ tHᵀ into a fresh vector.
+func (d *Decoder) trialSyndrome(s gf2.Vec, t []int) gf2.Vec {
+	sp := s.Clone()
+	d.h.MulSupportInto(sp, t)
+	return sp
+}
+
+// flipBack applies ê ⊕= t.
+func flipBack(errHat gf2.Vec, t []int) {
+	for _, col := range t {
+		errHat.Flip(col)
+	}
+}
+
+func (d *Decoder) decodeSerial(s gf2.Vec, trials [][]int) Result {
+	res := Result{WinningTrial: -1}
+	trialCap := d.trial.Config().MaxIter
+	maxIters := 0
+	for k, t := range trials {
+		sp := d.trialSyndrome(s, t)
+		tr := d.trial.Decode(sp)
+		res.TrialIterations = append(res.TrialIterations, tr.Iterations)
+		res.TrialSuccess = append(res.TrialSuccess, tr.Success)
+		if tr.Iterations > maxIters {
+			maxIters = tr.Iterations
+		}
+		if res.WinningTrial < 0 {
+			res.TotalIterations += tr.Iterations
+		}
+		if tr.Success && res.WinningTrial < 0 {
+			errHat := tr.ErrHat
+			flipBack(errHat, t)
+			res.Success = true
+			res.ErrHat = errHat
+			res.WinningTrial = k
+			res.FullParallelIterations = tr.Iterations
+			if !d.cfg.DecodeAllTrials {
+				return res
+			}
+		}
+	}
+	if res.WinningTrial < 0 {
+		// all trials failed: full-parallel latency is the slowest trial
+		// (or the cap when no trials ran)
+		if len(trials) == 0 {
+			res.FullParallelIterations = 0
+		} else if d.cfg.DecodeAllTrials {
+			res.FullParallelIterations = maxIters
+		} else {
+			res.FullParallelIterations = trialCap
+		}
+	}
+	return res
+}
+
+// trialOutcome carries one parallel trial result back to the manager.
+type trialOutcome struct {
+	trialIdx int
+	iters    int
+	success  bool
+	errHat   gf2.Vec
+}
+
+func (d *Decoder) decodeParallel(s gf2.Vec, trials [][]int) Result {
+	res := Result{WinningTrial: -1}
+	var stop atomic.Bool
+	next := make(chan int)
+	outcomes := make(chan trialOutcome, len(trials))
+	var wg sync.WaitGroup
+	for w := 0; w < len(d.workers); w++ {
+		wg.Add(1)
+		go func(dec *bp.Decoder) {
+			defer wg.Done()
+			for idx := range next {
+				if stop.Load() {
+					outcomes <- trialOutcome{trialIdx: idx, iters: 0}
+					continue
+				}
+				sp := d.trialSyndrome(s, trials[idx])
+				tr := dec.DecodeStop(sp, &stop)
+				out := trialOutcome{trialIdx: idx, iters: tr.Iterations, success: tr.Success}
+				if tr.Success {
+					stop.Store(true)
+					out.errHat = tr.ErrHat
+				}
+				outcomes <- out
+			}
+		}(d.workers[w])
+	}
+	for idx := range trials {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	close(outcomes)
+
+	completed := 0
+	for out := range outcomes {
+		if out.iters > 0 {
+			res.TrialIterations = append(res.TrialIterations, out.iters)
+			res.TrialSuccess = append(res.TrialSuccess, out.success)
+			res.TotalIterations += out.iters
+			completed++
+		}
+		if out.success && res.WinningTrial < 0 {
+			flipBack(out.errHat, trials[out.trialIdx])
+			res.Success = true
+			res.ErrHat = out.errHat
+			res.WinningTrial = out.trialIdx
+			res.FullParallelIterations = out.iters
+		}
+	}
+	if res.WinningTrial < 0 {
+		res.FullParallelIterations = d.trial.Config().MaxIter
+	}
+	return res
+}

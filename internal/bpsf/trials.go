@@ -1,0 +1,131 @@
+package bpsf
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TrialPolicy selects how trial vectors are generated from the candidate
+// set Φ.
+type TrialPolicy int
+
+const (
+	// Exhaustive enumerates every subset of Φ with weight 1..WMax, lowest
+	// weight first (the paper's code-capacity setting, typically WMax=1).
+	Exhaustive TrialPolicy = iota
+	// Sampled draws NS random subsets of each weight 1..WMax (the paper's
+	// circuit-level setting: ns trial vectors per weight).
+	Sampled
+)
+
+func (p TrialPolicy) String() string {
+	switch p {
+	case Exhaustive:
+		return "exhaustive"
+	case Sampled:
+		return "sampled"
+	default:
+		return "unknown"
+	}
+}
+
+// maxExhaustiveTrials bounds combinatorial explosion in Exhaustive mode.
+const maxExhaustiveTrials = 200000
+
+// GenerateTrials produces the trial vectors (as candidate-index subsets of
+// phi) for one failed decode. rng is only used by the Sampled policy.
+func GenerateTrials(phi []int, policy TrialPolicy, wMax, ns int, rng *rand.Rand) ([][]int, error) {
+	if wMax <= 0 {
+		return nil, fmt.Errorf("bpsf: wMax must be positive, got %d", wMax)
+	}
+	switch policy {
+	case Exhaustive:
+		return exhaustiveTrials(phi, wMax)
+	case Sampled:
+		if ns <= 0 {
+			return nil, fmt.Errorf("bpsf: ns must be positive for sampled trials, got %d", ns)
+		}
+		return sampledTrials(phi, wMax, ns, rng), nil
+	default:
+		return nil, fmt.Errorf("bpsf: unknown trial policy %d", policy)
+	}
+}
+
+func exhaustiveTrials(phi []int, wMax int) ([][]int, error) {
+	if wMax > len(phi) {
+		wMax = len(phi)
+	}
+	var out [][]int
+	for w := 1; w <= wMax; w++ {
+		if err := combinations(len(phi), w, func(sel []int) error {
+			if len(out) >= maxExhaustiveTrials {
+				return fmt.Errorf("bpsf: exhaustive trial count exceeds %d (|Φ|=%d, wMax=%d); use Sampled",
+					maxExhaustiveTrials, len(phi), wMax)
+			}
+			t := make([]int, w)
+			for i, k := range sel {
+				t[i] = phi[k]
+			}
+			out = append(out, t)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// combinations invokes fn with each k-subset of {0..n-1} in lexicographic
+// order; fn's slice is reused between calls.
+func combinations(n, k int, fn func([]int) error) error {
+	if k > n || k <= 0 {
+		return nil
+	}
+	sel := make([]int, k)
+	for i := range sel {
+		sel[i] = i
+	}
+	for {
+		if err := fn(sel); err != nil {
+			return err
+		}
+		// advance
+		i := k - 1
+		for i >= 0 && sel[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return nil
+		}
+		sel[i]++
+		for j := i + 1; j < k; j++ {
+			sel[j] = sel[j-1] + 1
+		}
+	}
+}
+
+func sampledTrials(phi []int, wMax, ns int, rng *rand.Rand) [][]int {
+	out := make([][]int, 0, wMax*ns)
+	scratch := make([]int, len(phi))
+	for w := 1; w <= wMax; w++ {
+		ww := w
+		if ww > len(phi) {
+			ww = len(phi)
+		}
+		if ww == 0 {
+			continue
+		}
+		for s := 0; s < ns; s++ {
+			copy(scratch, phi)
+			// partial Fisher–Yates for a uniform ww-subset
+			for i := 0; i < ww; i++ {
+				j := i + rng.Intn(len(scratch)-i)
+				scratch[i], scratch[j] = scratch[j], scratch[i]
+			}
+			t := make([]int, ww)
+			copy(t, scratch[:ww])
+			out = append(out, t)
+		}
+	}
+	return out
+}

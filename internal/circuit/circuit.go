@@ -1,0 +1,242 @@
+// Package circuit defines a stabilizer-circuit intermediate representation
+// sufficient for syndrome-extraction memory experiments: Clifford gates
+// (H, CX), resets and Z-basis measurements, Pauli noise channels, and
+// detector/observable annotations over measurement records.
+//
+// It is the first half of this repository's Stim substitution (see
+// DESIGN.md §3); package dem consumes circuits to build detector error
+// models by exact fault enumeration.
+package circuit
+
+import "fmt"
+
+// OpType enumerates circuit operations.
+type OpType int
+
+const (
+	// OpR resets a qubit to |0⟩.
+	OpR OpType = iota
+	// OpH applies a Hadamard.
+	OpH
+	// OpCX applies a controlled-X (Q0 = control, Q1 = target).
+	OpCX
+	// OpM measures a qubit in the Z basis (no reset).
+	OpM
+	// OpMR measures in the Z basis and resets to |0⟩.
+	OpMR
+	// OpNoiseX flips the qubit with probability Scale·p (bit-flip channel;
+	// used for measurement and reset noise).
+	OpNoiseX
+	// OpNoiseZ applies Z with probability Scale·p.
+	OpNoiseZ
+	// OpNoiseDep1 applies one of {X, Y, Z} each with probability Scale·p/3.
+	OpNoiseDep1
+	// OpNoiseDep2 applies one of the 15 non-identity two-qubit Paulis each
+	// with probability Scale·p/15.
+	OpNoiseDep2
+)
+
+func (t OpType) String() string {
+	switch t {
+	case OpR:
+		return "R"
+	case OpH:
+		return "H"
+	case OpCX:
+		return "CX"
+	case OpM:
+		return "M"
+	case OpMR:
+		return "MR"
+	case OpNoiseX:
+		return "X_ERROR"
+	case OpNoiseZ:
+		return "Z_ERROR"
+	case OpNoiseDep1:
+		return "DEPOLARIZE1"
+	case OpNoiseDep2:
+		return "DEPOLARIZE2"
+	default:
+		return "?"
+	}
+}
+
+// IsNoise reports whether the op is a noise channel.
+func (t OpType) IsNoise() bool {
+	return t == OpNoiseX || t == OpNoiseZ || t == OpNoiseDep1 || t == OpNoiseDep2
+}
+
+// Op is one circuit operation. Q1 is -1 for single-qubit ops. For noise
+// ops, Scale multiplies the experiment's physical error rate p (the
+// channel's total probability is Scale·p). For M/MR, Meas is the index of
+// the measurement record produced.
+type Op struct {
+	Type  OpType
+	Q0    int
+	Q1    int
+	Scale float64
+	Meas  int
+}
+
+// Circuit is a sequence of operations plus detector/observable annotations.
+// Build one with New and the fluent append methods.
+type Circuit struct {
+	NumQubits int
+	Ops       []Op
+	NumMeas   int
+	// Detectors[d] is the set of measurement indices whose XOR is
+	// deterministically 0 in the noiseless circuit.
+	Detectors [][]int
+	// Observables[o] is the set of measurement indices whose XOR equals a
+	// logical observable's value.
+	Observables [][]int
+}
+
+// New returns an empty circuit over n qubits.
+func New(n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("circuit: nonpositive qubit count %d", n))
+	}
+	return &Circuit{NumQubits: n}
+}
+
+func (c *Circuit) check(q int) {
+	if q < 0 || q >= c.NumQubits {
+		panic(fmt.Sprintf("circuit: qubit %d out of range [0,%d)", q, c.NumQubits))
+	}
+}
+
+// R appends resets on the given qubits.
+func (c *Circuit) R(qs ...int) *Circuit {
+	for _, q := range qs {
+		c.check(q)
+		c.Ops = append(c.Ops, Op{Type: OpR, Q0: q, Q1: -1})
+	}
+	return c
+}
+
+// H appends Hadamards on the given qubits.
+func (c *Circuit) H(qs ...int) *Circuit {
+	for _, q := range qs {
+		c.check(q)
+		c.Ops = append(c.Ops, Op{Type: OpH, Q0: q, Q1: -1})
+	}
+	return c
+}
+
+// CX appends a controlled-X with control ctrl and target tgt.
+func (c *Circuit) CX(ctrl, tgt int) *Circuit {
+	c.check(ctrl)
+	c.check(tgt)
+	if ctrl == tgt {
+		panic("circuit: CX control equals target")
+	}
+	c.Ops = append(c.Ops, Op{Type: OpCX, Q0: ctrl, Q1: tgt})
+	return c
+}
+
+// M appends a Z-basis measurement and returns its record index.
+func (c *Circuit) M(q int) int {
+	c.check(q)
+	idx := c.NumMeas
+	c.Ops = append(c.Ops, Op{Type: OpM, Q0: q, Q1: -1, Meas: idx})
+	c.NumMeas++
+	return idx
+}
+
+// MR appends a Z-basis measure-and-reset and returns its record index.
+func (c *Circuit) MR(q int) int {
+	c.check(q)
+	idx := c.NumMeas
+	c.Ops = append(c.Ops, Op{Type: OpMR, Q0: q, Q1: -1, Meas: idx})
+	c.NumMeas++
+	return idx
+}
+
+// NoiseX appends a bit-flip channel with probability scale·p.
+func (c *Circuit) NoiseX(scale float64, qs ...int) *Circuit {
+	for _, q := range qs {
+		c.check(q)
+		c.Ops = append(c.Ops, Op{Type: OpNoiseX, Q0: q, Q1: -1, Scale: scale})
+	}
+	return c
+}
+
+// NoiseZ appends a phase-flip channel with probability scale·p.
+func (c *Circuit) NoiseZ(scale float64, qs ...int) *Circuit {
+	for _, q := range qs {
+		c.check(q)
+		c.Ops = append(c.Ops, Op{Type: OpNoiseZ, Q0: q, Q1: -1, Scale: scale})
+	}
+	return c
+}
+
+// Dep1 appends single-qubit depolarizing channels with total probability
+// scale·p.
+func (c *Circuit) Dep1(scale float64, qs ...int) *Circuit {
+	for _, q := range qs {
+		c.check(q)
+		c.Ops = append(c.Ops, Op{Type: OpNoiseDep1, Q0: q, Q1: -1, Scale: scale})
+	}
+	return c
+}
+
+// Dep2 appends a two-qubit depolarizing channel with total probability
+// scale·p.
+func (c *Circuit) Dep2(scale float64, q0, q1 int) *Circuit {
+	c.check(q0)
+	c.check(q1)
+	if q0 == q1 {
+		panic("circuit: Dep2 on identical qubits")
+	}
+	c.Ops = append(c.Ops, Op{Type: OpNoiseDep2, Q0: q0, Q1: q1, Scale: scale})
+	return c
+}
+
+// Detector declares that the XOR of the given measurement records is
+// deterministically zero in the absence of noise.
+func (c *Circuit) Detector(meas ...int) int {
+	for _, m := range meas {
+		if m < 0 || m >= c.NumMeas {
+			panic(fmt.Sprintf("circuit: detector references measurement %d of %d", m, c.NumMeas))
+		}
+	}
+	c.Detectors = append(c.Detectors, append([]int(nil), meas...))
+	return len(c.Detectors) - 1
+}
+
+// Observable declares a logical observable as the XOR of measurement
+// records.
+func (c *Circuit) Observable(meas ...int) int {
+	for _, m := range meas {
+		if m < 0 || m >= c.NumMeas {
+			panic(fmt.Sprintf("circuit: observable references measurement %d of %d", m, c.NumMeas))
+		}
+	}
+	c.Observables = append(c.Observables, append([]int(nil), meas...))
+	return len(c.Observables) - 1
+}
+
+// Stats summarizes a circuit for reporting.
+type Stats struct {
+	Qubits, Ops, Gates, NoiseOps, Measurements, Detectors, Observables int
+}
+
+// Stats returns op counts.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Qubits:       c.NumQubits,
+		Ops:          len(c.Ops),
+		Measurements: c.NumMeas,
+		Detectors:    len(c.Detectors),
+		Observables:  len(c.Observables),
+	}
+	for _, op := range c.Ops {
+		if op.Type.IsNoise() {
+			s.NoiseOps++
+		} else {
+			s.Gates++
+		}
+	}
+	return s
+}

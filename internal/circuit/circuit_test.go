@@ -1,0 +1,64 @@
+package circuit
+
+import "testing"
+
+func TestBuilderCounts(t *testing.T) {
+	c := New(3)
+	c.R(0, 1, 2)
+	c.H(0)
+	c.Dep1(1, 0)
+	c.CX(0, 1)
+	c.Dep2(1, 0, 1)
+	c.NoiseX(1, 1)
+	m0 := c.MR(1)
+	m1 := c.M(2)
+	c.Detector(m0)
+	c.Observable(m1)
+	st := c.Stats()
+	if st.Qubits != 3 || st.Measurements != 2 || st.Detectors != 1 || st.Observables != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.NoiseOps != 3 || st.Gates != st.Ops-3 {
+		t.Fatalf("noise/gate split wrong: %+v", st)
+	}
+	if m0 != 0 || m1 != 1 {
+		t.Fatal("measurement indices wrong")
+	}
+}
+
+func TestOpTypeStrings(t *testing.T) {
+	for _, tc := range []struct {
+		ty   OpType
+		want string
+	}{
+		{OpR, "R"}, {OpH, "H"}, {OpCX, "CX"}, {OpM, "M"}, {OpMR, "MR"},
+		{OpNoiseX, "X_ERROR"}, {OpNoiseZ, "Z_ERROR"},
+		{OpNoiseDep1, "DEPOLARIZE1"}, {OpNoiseDep2, "DEPOLARIZE2"},
+		{OpType(99), "?"},
+	} {
+		if tc.ty.String() != tc.want {
+			t.Fatalf("%d → %q, want %q", tc.ty, tc.ty.String(), tc.want)
+		}
+	}
+	if OpH.IsNoise() || !OpNoiseDep2.IsNoise() {
+		t.Fatal("IsNoise wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("qubit range", func() { New(2).H(2) })
+	mustPanic("cx self", func() { New(2).CX(1, 1) })
+	mustPanic("dep2 self", func() { New(2).Dep2(1, 0, 0) })
+	mustPanic("detector bad meas", func() { New(1).Detector(0) })
+	mustPanic("observable bad meas", func() { New(1).Observable(3) })
+	mustPanic("zero qubits", func() { New(0) })
+}

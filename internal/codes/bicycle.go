@@ -1,0 +1,95 @@
+package codes
+
+import (
+	"fmt"
+
+	"bpsf/internal/code"
+	"bpsf/internal/sparse"
+)
+
+// newBicycle assembles H_X = [A|B], H_Z = [Bᵀ|Aᵀ] and validates the code.
+func newBicycle(name string, a, b *sparse.Mat, d int) (*code.CSS, error) {
+	hx := sparse.HStack(a, b)
+	hz := sparse.HStack(b.Transpose(), a.Transpose())
+	return code.NewCSS(name, hx, hz, d)
+}
+
+// NewGB constructs a generalized bicycle code from circulant size l and the
+// exponent lists of the polynomials a(x), b(x). The code has n = 2l qubits.
+func NewGB(name string, l int, aExp, bExp []int, d int) (*code.CSS, error) {
+	if l <= 0 {
+		return nil, fmt.Errorf("codes: GB circulant size %d", l)
+	}
+	return newBicycle(name, Circulant(l, aExp), Circulant(l, bExp), d)
+}
+
+// NewBB constructs a bivariate bicycle code over Z_l×Z_m from the monomial
+// lists of a(x,y) and b(x,y). The code has n = 2lm qubits.
+func NewBB(name string, l, m int, aTerms, bTerms []BivariateTerm, d int) (*code.CSS, error) {
+	if l <= 0 || m <= 0 {
+		return nil, fmt.Errorf("codes: BB group size %dx%d", l, m)
+	}
+	return newBicycle(name, Bivariate(l, m, aTerms), Bivariate(l, m, bTerms), d)
+}
+
+// NewCoprimeBB constructs a coprime bivariate bicycle code with π = xy over
+// Z_l×Z_m (gcd(l,m) must be 1 for the intended univariate structure; the
+// construction itself works regardless).
+func NewCoprimeBB(name string, l, m int, aExp, bExp []int, d int) (*code.CSS, error) {
+	if gcd(l, m) != 1 {
+		return nil, fmt.Errorf("codes: coprime-BB requires gcd(l,m)=1, got l=%d m=%d", l, m)
+	}
+	return newBicycle(name, PiPolynomial(l, m, aExp), PiPolynomial(l, m, bExp), d)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// BB72 returns the J72,12,6K bivariate bicycle code of Bravyi et al.
+// (l=6, m=6, a = x³+y+y², b = y³+x+x²).
+func BB72() (*code.CSS, error) {
+	return NewBB("BB [[72,12,6]]", 6, 6,
+		[]BivariateTerm{{3, 0}, {0, 1}, {0, 2}},
+		[]BivariateTerm{{0, 3}, {1, 0}, {2, 0}}, 6)
+}
+
+// BB144 returns the J144,12,12K "gross" code (l=12, m=6, a = x³+y+y²,
+// b = y³+x+x²).
+func BB144() (*code.CSS, error) {
+	return NewBB("BB [[144,12,12]]", 12, 6,
+		[]BivariateTerm{{3, 0}, {0, 1}, {0, 2}},
+		[]BivariateTerm{{0, 3}, {1, 0}, {2, 0}}, 12)
+}
+
+// BB288 returns the J288,12,18K code (l=12, m=12, a = x³+y²+y⁷, b = y³+x+x²).
+func BB288() (*code.CSS, error) {
+	return NewBB("BB [[288,12,18]]", 12, 12,
+		[]BivariateTerm{{3, 0}, {0, 2}, {0, 7}},
+		[]BivariateTerm{{0, 3}, {1, 0}, {2, 0}}, 18)
+}
+
+// CoprimeBB126 returns the J126,12,10K coprime-BB code of Wang & Mueller
+// (l=7, m=9, a = 1+π+π⁵⁸, b = 1+π¹³+π⁴¹).
+func CoprimeBB126() (*code.CSS, error) {
+	return NewCoprimeBB("Coprime-BB [[126,12,10]]", 7, 9,
+		[]int{0, 1, 58}, []int{0, 13, 41}, 10)
+}
+
+// CoprimeBB154 returns the J154,6,16K coprime-BB code
+// (l=7, m=11, a = 1+π+π³¹, b = 1+π¹⁹+π⁵³).
+func CoprimeBB154() (*code.CSS, error) {
+	return NewCoprimeBB("Coprime-BB [[154,6,16]]", 7, 11,
+		[]int{0, 1, 31}, []int{0, 19, 53}, 16)
+}
+
+// GB254 returns the J254,28K generalized bicycle code of Panteleev & Kalachev
+// (l=127, a = 1+x¹⁵+x²⁰+x²⁸+x⁶⁶, b = 1+x⁵⁸+x⁵⁹+x¹⁰⁰+x¹²¹). Its distance is
+// not reported in the paper; we record the known lower bound d=14.
+func GB254() (*code.CSS, error) {
+	return NewGB("GB [[254,28]]", 127,
+		[]int{0, 15, 20, 28, 66}, []int{0, 58, 59, 100, 121}, 14)
+}

@@ -1,0 +1,54 @@
+package codes
+
+import (
+	"fmt"
+	"sort"
+
+	"bpsf/internal/code"
+)
+
+// Entry describes a named code in the catalog together with the default
+// experiment parameters the paper uses for it.
+type Entry struct {
+	// Name is the catalog key (e.g. "bb144").
+	Name string
+	// Build constructs the code.
+	Build func() (*code.CSS, error)
+	// Rounds is the number of syndrome-extraction rounds for circuit-level
+	// memory experiments (the paper uses d rounds).
+	Rounds int
+}
+
+// Catalog returns the named codes evaluated in the paper, keyed by short
+// name.
+func Catalog() map[string]Entry {
+	return map[string]Entry{
+		"bb72":       {Name: "bb72", Build: BB72, Rounds: 6},
+		"bb144":      {Name: "bb144", Build: BB144, Rounds: 12},
+		"bb288":      {Name: "bb288", Build: BB288, Rounds: 18},
+		"coprime126": {Name: "coprime126", Build: CoprimeBB126, Rounds: 10},
+		"coprime154": {Name: "coprime154", Build: CoprimeBB154, Rounds: 16},
+		"gb254":      {Name: "gb254", Build: GB254, Rounds: 14},
+		"shyps225":   {Name: "shyps225", Build: SHYPS225, Rounds: 8},
+	}
+}
+
+// Names returns the sorted catalog keys.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, 0, len(cat))
+	for k := range cat {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get builds a catalog code by name.
+func Get(name string) (*code.CSS, error) {
+	e, ok := Catalog()[name]
+	if !ok {
+		return nil, fmt.Errorf("codes: unknown code %q (known: %v)", name, Names())
+	}
+	return e.Build()
+}

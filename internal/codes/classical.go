@@ -1,0 +1,73 @@
+package codes
+
+import (
+	"fmt"
+
+	"bpsf/internal/gf2"
+	"bpsf/internal/sparse"
+)
+
+// RepetitionCheck returns the (d−1)×d parity check matrix of the length-d
+// repetition code (adjacent-pair checks).
+func RepetitionCheck(d int) *sparse.Mat {
+	b := sparse.NewBuilder(d-1, d)
+	for i := 0; i < d-1; i++ {
+		b.Set(i, i)
+		b.Set(i, i+1)
+	}
+	return b.Build()
+}
+
+// HammingCheck returns the m×(2^m−1) parity check matrix of the Hamming
+// code, whose columns are all nonzero m-bit vectors (column j+1 is the
+// binary expansion of j+1).
+func HammingCheck(m int) *sparse.Mat {
+	n := (1 << uint(m)) - 1
+	b := sparse.NewBuilder(m, n)
+	for col := 1; col <= n; col++ {
+		for bit := 0; bit < m; bit++ {
+			if col>>uint(bit)&1 == 1 {
+				b.Set(bit, col-1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// primitivePoly holds primitive polynomial coefficients (exponent lists)
+// over GF(2) for small degrees, used to build cyclic simplex parity checks
+// with row weight deg+1.
+var primitivePoly = map[int][]int{
+	2: {0, 1, 2}, // x²+x+1
+	3: {0, 1, 3}, // x³+x+1
+	4: {0, 1, 4}, // x⁴+x+1
+	5: {0, 2, 5}, // x⁵+x²+1
+	6: {0, 1, 6}, // x⁶+x+1
+}
+
+// SimplexCheck returns an (n−m)×n parity check matrix of the J2^m−1, m,
+// 2^(m−1)K simplex code in cyclic form: row i is the primitive polynomial
+// g(x) of degree m shifted by i (no wraparound). Row weight is the number
+// of terms of g (3 for the degrees tabulated here), which is what makes the
+// SHYPS gauge generators low-weight.
+func SimplexCheck(m int) (*sparse.Mat, error) {
+	g, ok := primitivePoly[m]
+	if !ok {
+		return nil, fmt.Errorf("codes: no primitive polynomial tabulated for degree %d", m)
+	}
+	n := (1 << uint(m)) - 1
+	rows := n - m
+	b := sparse.NewBuilder(rows, n)
+	for i := 0; i < rows; i++ {
+		for _, e := range g {
+			b.Set(i, i+e)
+		}
+	}
+	return b.Build(), nil
+}
+
+// GeneratorFor returns a generator matrix (k×n, k = n − rank(h)) for the
+// code with parity check h: a basis of its nullspace.
+func GeneratorFor(h *sparse.Mat) *sparse.Mat {
+	return sparse.FromDense(gf2.NullspaceBasis(h.ToDense()))
+}

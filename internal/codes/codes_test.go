@@ -1,0 +1,284 @@
+package codes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bpsf/internal/gf2"
+	"bpsf/internal/sparse"
+)
+
+func TestCirculantShift(t *testing.T) {
+	// S_3 from the paper: rows (010),(001),(100)
+	s3 := Circulant(3, []int{1})
+	want := sparse.FromRows([][]int{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+	if !s3.Equal(want) {
+		t.Fatalf("S_3 wrong:\n%v", s3.ToDense())
+	}
+}
+
+func TestCirculantCancellation(t *testing.T) {
+	// x^2 + x^2 = 0
+	m := Circulant(5, []int{2, 2})
+	if m.NNZ() != 0 {
+		t.Fatal("repeated exponents must cancel over GF(2)")
+	}
+}
+
+func TestCirculantNegativeExponent(t *testing.T) {
+	if !Circulant(5, []int{-1}).Equal(Circulant(5, []int{4})) {
+		t.Fatal("negative exponents must wrap")
+	}
+}
+
+func TestCirculantsCommute(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		l := 2 + rr.Intn(12)
+		a := Circulant(l, []int{rr.Intn(l), rr.Intn(l)})
+		b := Circulant(l, []int{rr.Intn(l), rr.Intn(l), rr.Intn(l)})
+		return a.Mul(b).Equal(b.Mul(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBivariateMatchesKron(t *testing.T) {
+	// x^i y^j over Z_l×Z_m must equal S_l^i ⊗ S_m^j
+	l, m := 4, 3
+	got := Bivariate(l, m, []BivariateTerm{{2, 1}})
+	want := sparse.Kron(Circulant(l, []int{2}), Circulant(m, []int{1}))
+	if !got.Equal(want) {
+		t.Fatal("Bivariate term does not match Kronecker of shifts")
+	}
+}
+
+func TestBivariatePolynomialsCommute(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		l, m := 2+rr.Intn(6), 2+rr.Intn(6)
+		a := Bivariate(l, m, []BivariateTerm{{rr.Intn(l), rr.Intn(m)}, {rr.Intn(l), rr.Intn(m)}})
+		b := Bivariate(l, m, []BivariateTerm{{rr.Intn(l), rr.Intn(m)}, {rr.Intn(l), rr.Intn(m)}})
+		return a.Mul(b).Equal(b.Mul(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBicycleAlwaysValidCSS(t *testing.T) {
+	// property: any pair of bivariate polynomials yields HX·HZᵀ = 0
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		l, m := 2+rr.Intn(5), 2+rr.Intn(5)
+		nTerms := 1 + rr.Intn(3)
+		a := make([]BivariateTerm, nTerms)
+		b := make([]BivariateTerm, nTerms)
+		for i := range a {
+			a[i] = BivariateTerm{rr.Intn(l), rr.Intn(m)}
+			b[i] = BivariateTerm{rr.Intn(l), rr.Intn(m)}
+		}
+		_, err := NewBB("random", l, m, a, b, 1)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Table II of the paper.
+func TestTable2BBParameters(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n, k  int
+		build string
+	}{
+		{"bb72", 72, 12, ""},
+		{"bb144", 144, 12, ""},
+		{"bb288", 288, 12, ""},
+	} {
+		c, err := Get(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if c.N != tc.n || c.K != tc.k {
+			t.Errorf("%s: got [[%d,%d]], want [[%d,%d]]", tc.name, c.N, c.K, tc.n, tc.k)
+		}
+		if err := c.CheckValid(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+// Table III of the paper.
+func TestTable3CoprimeBBParameters(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n, k int
+	}{
+		{"coprime126", 126, 12},
+		{"coprime154", 154, 6},
+	} {
+		c, err := Get(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if c.N != tc.n || c.K != tc.k {
+			t.Errorf("%s: got [[%d,%d]], want [[%d,%d]]", tc.name, c.N, c.K, tc.n, tc.k)
+		}
+		if err := c.CheckValid(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestGB254Parameters(t *testing.T) {
+	c, err := Get("gb254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 254 || c.K != 28 {
+		t.Fatalf("GB: got [[%d,%d]], want [[254,28]]", c.N, c.K)
+	}
+	if err := c.CheckValid(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoprimeBBRejectsNonCoprime(t *testing.T) {
+	if _, err := NewCoprimeBB("bad", 6, 9, []int{0}, []int{0}, 1); err == nil {
+		t.Fatal("expected error for gcd(6,9) != 1")
+	}
+}
+
+func TestRepetitionCheck(t *testing.T) {
+	h := RepetitionCheck(4)
+	if h.Rows() != 3 || h.Cols() != 4 {
+		t.Fatal("repetition shape wrong")
+	}
+	// codewords 0000 and 1111 only
+	ker := gf2.NullspaceBasis(h.ToDense())
+	if ker.Rows() != 1 || ker.Row(0).Weight() != 4 {
+		t.Fatal("repetition kernel wrong")
+	}
+}
+
+func TestHammingCheck(t *testing.T) {
+	h := HammingCheck(3)
+	if h.Rows() != 3 || h.Cols() != 7 {
+		t.Fatal("Hamming shape wrong")
+	}
+	if gf2.Rank(h.ToDense()) != 3 {
+		t.Fatal("Hamming rank wrong")
+	}
+}
+
+func TestSimplexCheck(t *testing.T) {
+	h, err := SimplexCheck(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 11 || h.Cols() != 15 {
+		t.Fatalf("simplex check shape %dx%d, want 11x15", h.Rows(), h.Cols())
+	}
+	if gf2.Rank(h.ToDense()) != 11 {
+		t.Fatal("simplex check not full rank")
+	}
+	if h.MaxRowWeight() != 3 {
+		t.Fatalf("simplex row weight %d, want 3", h.MaxRowWeight())
+	}
+	// the code it defines must be the [15,4,8] simplex: all nonzero
+	// codewords have weight exactly 8
+	g := GeneratorFor(h)
+	if g.Rows() != 4 {
+		t.Fatalf("simplex k = %d, want 4", g.Rows())
+	}
+	gd := g.ToDense()
+	for mask := 1; mask < 16; mask++ {
+		cw := gf2.NewVec(15)
+		for b := 0; b < 4; b++ {
+			if mask>>uint(b)&1 == 1 {
+				cw.Xor(gd.Row(b))
+			}
+		}
+		if cw.Weight() != 8 {
+			t.Fatalf("simplex codeword weight %d, want 8", cw.Weight())
+		}
+	}
+	if _, err := SimplexCheck(30); err == nil {
+		t.Fatal("expected error for untabulated degree")
+	}
+}
+
+func TestSurfaceCode(t *testing.T) {
+	c, err := Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 13 || c.K != 1 {
+		t.Fatalf("surface-3: [[%d,%d]], want [[13,1]]", c.N, c.K)
+	}
+	if err := c.CheckValid(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Surface(1); err == nil {
+		t.Fatal("expected error for d<2")
+	}
+}
+
+func TestHGPSimplexSquare(t *testing.T) {
+	// full CSS HGP of the simplex code: [[15²+11², 16]] = [[346,16]]
+	h, err := SimplexCheck(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewHGP("hgp-simplex", h, h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 346 || c.K != 16 {
+		t.Fatalf("HGP simplex: [[%d,%d]], want [[346,16]]", c.N, c.K)
+	}
+}
+
+func TestSHYPS225Parameters(t *testing.T) {
+	c, err := Get("shyps225")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 225 || c.K != 16 {
+		t.Fatalf("SHYPS: [[%d,%d]], want [[225,16]]", c.N, c.K)
+	}
+	if err := c.CheckValid(); err != nil {
+		t.Fatal(err)
+	}
+	// gauge generators must be weight 3 (simplex cyclic check rows)
+	if c.GX.MaxRowWeight() != 3 || c.GZ.MaxRowWeight() != 3 {
+		t.Fatalf("SHYPS gauge weights %d/%d, want 3/3", c.GX.MaxRowWeight(), c.GZ.MaxRowWeight())
+	}
+	// stabilizers are combos: HX = CombX·GX by construction; spot-check
+	// commutation of stabilizers with the opposite gauge group
+	if c.HX.Mul(c.GZ.Transpose()).NNZ() != 0 {
+		t.Fatal("X stabilizers anticommute with Z gauge")
+	}
+}
+
+func TestCatalogAllBuild(t *testing.T) {
+	for _, name := range Names() {
+		c, err := Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.N <= 0 || c.K <= 0 {
+			t.Fatalf("%s: degenerate parameters [[%d,%d]]", name, c.N, c.K)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error for unknown code")
+	}
+}

@@ -1,0 +1,65 @@
+// Package codes constructs the quantum LDPC code families evaluated in the
+// paper: bivariate bicycle (BB) codes, coprime-BB codes, generalized bicycle
+// (GB) codes, hypergraph product codes, and the subsystem hypergraph product
+// simplex (SHYPS) code — plus the classical component codes they are built
+// from (cyclic/circulant matrices, repetition, Hamming, simplex).
+//
+// Constructions follow the paper's Appendix A: with S_l the right-cyclic
+// shift matrix of size l and I_l the identity,
+//
+//	GB:         x = S_l,             H_X = [a(x) | b(x)],  H_Z = [b(x)ᵀ | a(x)ᵀ]
+//	BB:         x = S_l⊗I_m, y = I_l⊗S_m, A = a(x,y), B = b(x,y), same template
+//	coprime-BB: π = xy (gcd(l,m)=1), A = a(π), B = b(π)
+package codes
+
+import "bpsf/internal/sparse"
+
+// Circulant returns the l×l matrix Σ_e S_l^e over GF(2), where S_l is the
+// right-cyclic shift (S_l[r][c] = 1 iff c = r+1 mod l) and e ranges over the
+// exponent list. Repeated exponents cancel in GF(2).
+func Circulant(l int, exps []int) *sparse.Mat {
+	b := sparse.NewBuilder(l, l)
+	for _, e := range exps {
+		e = ((e % l) + l) % l
+		for r := 0; r < l; r++ {
+			b.Flip(r, (r+e)%l)
+		}
+	}
+	return b.Build()
+}
+
+// BivariateTerm is a monomial xⁱyʲ of a bivariate polynomial over the group
+// algebra F₂[Z_l × Z_m].
+type BivariateTerm struct{ I, J int }
+
+// Bivariate returns the lm×lm matrix Σ_t x^{I_t}·y^{J_t} with x = S_l⊗I_m
+// and y = I_l⊗S_m. Index (α, β) of Z_l×Z_m maps to row α·m+β. Repeated
+// monomials cancel in GF(2).
+func Bivariate(l, m int, terms []BivariateTerm) *sparse.Mat {
+	b := sparse.NewBuilder(l*m, l*m)
+	for _, t := range terms {
+		i := ((t.I % l) + l) % l
+		j := ((t.J % m) + m) % m
+		for alpha := 0; alpha < l; alpha++ {
+			for beta := 0; beta < m; beta++ {
+				b.Flip(alpha*m+beta, ((alpha+i)%l)*m+(beta+j)%m)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// MonomialPower returns π^e as a Bivariate term list, where π = xy acts on
+// Z_l×Z_m. Used by the coprime-BB construction: a(π) = Σ π^{e} with each
+// π^e = x^e y^e.
+func MonomialPower(e int) BivariateTerm { return BivariateTerm{I: e, J: e} }
+
+// PiPolynomial returns Σ_e π^e over Z_l×Z_m as a sparse matrix (the
+// coprime-BB building block).
+func PiPolynomial(l, m int, exps []int) *sparse.Mat {
+	terms := make([]BivariateTerm, len(exps))
+	for i, e := range exps {
+		terms[i] = MonomialPower(e)
+	}
+	return Bivariate(l, m, terms)
+}

@@ -1,0 +1,70 @@
+package codes
+
+import (
+	"fmt"
+
+	"bpsf/internal/code"
+	"bpsf/internal/sparse"
+)
+
+// NewHGP constructs the hypergraph product code of two classical codes with
+// parity check matrices h1 (r1×n1) and h2 (r2×n2):
+//
+//	H_X = [ h1 ⊗ I_n2 | I_r1 ⊗ h2ᵀ ]
+//	H_Z = [ I_n1 ⊗ h2 | h1ᵀ ⊗ I_r2 ]
+//
+// For full-rank h1, h2 the parameters are n = n1·n2 + r1·r2 and k = k1·k2.
+func NewHGP(name string, h1, h2 *sparse.Mat, d int) (*code.CSS, error) {
+	r1, n1 := h1.Rows(), h1.Cols()
+	r2, n2 := h2.Rows(), h2.Cols()
+	hx := sparse.HStack(sparse.Kron(h1, sparse.Identity(n2)), sparse.Kron(sparse.Identity(r1), h2.Transpose()))
+	hz := sparse.HStack(sparse.Kron(sparse.Identity(n1), h2), sparse.Kron(h1.Transpose(), sparse.Identity(r2)))
+	return code.NewCSS(name, hx, hz, d)
+}
+
+// Surface returns the distance-d (unrotated) surface code as the hypergraph
+// product of two length-d repetition codes: J d²+(d−1)², 1, d K.
+func Surface(d int) (*code.CSS, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("codes: surface distance %d < 2", d)
+	}
+	h := RepetitionCheck(d)
+	name := fmt.Sprintf("Surface [[%d,1,%d]]", d*d+(d-1)*(d-1), d)
+	return NewHGP(name, h, h, d)
+}
+
+// NewSHP constructs the subsystem hypergraph product of two classical codes
+// given by parity checks h1, h2 and generators g1, g2 (g_i must satisfy
+// h_i·g_iᵀ = 0). Following Li & Yoder and the SHYPS construction of Malcolm
+// et al.:
+//
+//	gauge X  = h1 ⊗ I_n2          (measured each round, weight = wt(h1 rows))
+//	gauge Z  = I_n1 ⊗ h2
+//	stab  X  = h1 ⊗ g2 = (I_r1 ⊗ g2) · gaugeX
+//	stab  Z  = g1 ⊗ h2 = (g1 ⊗ I_r2) · gaugeZ
+//
+// The code has n = n1·n2 qubits and k = k1·k2 logical qubits.
+func NewSHP(name string, h1, g1, h2, g2 *sparse.Mat, d int) (*code.CSS, error) {
+	if h1.Cols() != g1.Cols() || h2.Cols() != g2.Cols() {
+		return nil, fmt.Errorf("codes: SHP generator/check length mismatch")
+	}
+	n2 := h2.Cols()
+	r1, r2 := h1.Rows(), h2.Rows()
+	gx := sparse.Kron(h1, sparse.Identity(n2))
+	gz := sparse.Kron(sparse.Identity(h1.Cols()), h2)
+	combX := sparse.Kron(sparse.Identity(r1), g2)
+	combZ := sparse.Kron(g1, sparse.Identity(r2))
+	return code.NewSubsystem(name, gx, gz, combX, combZ, d)
+}
+
+// SHYPS225 returns the J225,16,8K subsystem hypergraph product simplex code:
+// the SHP of the J15,4,8K simplex code with itself, with weight-3 gauge
+// generators from the cyclic simplex parity check.
+func SHYPS225() (*code.CSS, error) {
+	h, err := SimplexCheck(4)
+	if err != nil {
+		return nil, err
+	}
+	g := GeneratorFor(h)
+	return NewSHP("SHYPS [[225,16,8]]", h, g, h, g, 8)
+}

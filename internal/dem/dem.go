@@ -1,0 +1,234 @@
+// Package dem extracts detector error models from noisy stabilizer
+// circuits and samples from them: the decoder-facing half of the Stim
+// substitution.
+//
+// Every possible elementary fault (each Pauli a noise channel can inject,
+// at each circuit position) is propagated with package pauli to find the
+// set of detectors and logical observables it flips. Faults with identical
+// signatures are merged into one error mechanism whose probability is the
+// odd-parity combination of its faults' probabilities. The result is the
+// decoding problem the paper's circuit-level experiments operate on: a
+// sparse detector×mechanism parity-check matrix H, an observable matrix,
+// and per-mechanism priors — all parameterized by the physical error rate
+// p, so one extraction serves every point of an error-rate sweep.
+package dem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bpsf/internal/circuit"
+	"bpsf/internal/pauli"
+	"bpsf/internal/sparse"
+)
+
+// DEM is a detector error model.
+type DEM struct {
+	// NumDets and NumObs are the detector and observable counts of the
+	// source circuit.
+	NumDets, NumObs int
+	// H is the NumDets × NumMechs sparse check matrix: H[d][m] = 1 iff
+	// mechanism m flips detector d.
+	H *sparse.Mat
+	// Obs is the NumObs × NumMechs observable matrix.
+	Obs *sparse.Mat
+	// coeffs[m] maps probability coefficient c to the number of elementary
+	// faults with probability c·p merged into mechanism m.
+	coeffs []map[float64]int
+}
+
+// NumMechs returns the number of error mechanisms (columns of H).
+func (d *DEM) NumMechs() int { return d.H.Cols() }
+
+// Priors returns the per-mechanism error probabilities at physical error
+// rate p: the probability that an odd number of the mechanism's merged
+// faults fire, ½(1 − Π(1−2·cᵢ·p)).
+func (d *DEM) Priors(p float64) []float64 {
+	out := make([]float64, d.NumMechs())
+	for m, classes := range d.coeffs {
+		prod := 1.0
+		for c, count := range classes {
+			q := c * p
+			if q > 0.5 {
+				q = 0.5
+			}
+			prod *= math.Pow(1-2*q, float64(count))
+		}
+		out[m] = (1 - prod) / 2
+	}
+	return out
+}
+
+// MechanismFaults returns the number of elementary faults merged into
+// mechanism m (introspection for tests and tools).
+func (d *DEM) MechanismFaults(m int) int {
+	total := 0
+	for _, count := range d.coeffs[m] {
+		total += count
+	}
+	return total
+}
+
+// Extract builds the DEM of c. Detectors and observables must already be
+// declared on the circuit. Faults that flip nothing are dropped. It returns
+// an error if a fault flips an observable without flipping any detector
+// (an undetectable logical error — a symptom of a malformed experiment).
+func Extract(c *circuit.Circuit) (*DEM, error) {
+	prop := pauli.New(c)
+
+	measToDets := make([][]int32, c.NumMeas)
+	for d, meas := range c.Detectors {
+		for _, m := range meas {
+			measToDets[m] = append(measToDets[m], int32(d))
+		}
+	}
+	measToObs := make([][]int32, c.NumMeas)
+	for o, meas := range c.Observables {
+		for _, m := range meas {
+			measToObs[m] = append(measToObs[m], int32(o))
+		}
+	}
+
+	detParity := make([]bool, len(c.Detectors))
+	obsParity := make([]bool, len(c.Observables))
+	var detTouched, obsTouched []int
+
+	type mech struct {
+		dets, obs []int
+		coeffs    map[float64]int
+	}
+	var mechs []mech
+	index := make(map[string]int)
+
+	var keyBuf []byte
+	addFault := func(opIdx int, qubits []int, paulis []pauli.Bits, coeff float64) error {
+		flips := prop.Propagate(opIdx, qubits, paulis)
+		if len(flips) == 0 {
+			return nil
+		}
+		for _, i := range detTouched {
+			detParity[i] = false
+		}
+		for _, i := range obsTouched {
+			obsParity[i] = false
+		}
+		detTouched = detTouched[:0]
+		obsTouched = obsTouched[:0]
+		for _, m := range flips {
+			for _, d := range measToDets[m] {
+				if !detParity[d] {
+					detTouched = append(detTouched, int(d))
+				}
+				detParity[d] = !detParity[d]
+			}
+			for _, o := range measToObs[m] {
+				if !obsParity[o] {
+					obsTouched = append(obsTouched, int(o))
+				}
+				obsParity[o] = !obsParity[o]
+			}
+		}
+		var dets, obs []int
+		for _, d := range detTouched {
+			if detParity[d] {
+				dets = append(dets, d)
+			}
+		}
+		for _, o := range obsTouched {
+			if obsParity[o] {
+				obs = append(obs, o)
+			}
+		}
+		if len(dets) == 0 && len(obs) == 0 {
+			return nil
+		}
+		if len(dets) == 0 {
+			return fmt.Errorf("dem: fault at op %d flips observables %v with no detector", opIdx, obs)
+		}
+		sort.Ints(dets)
+		sort.Ints(obs)
+
+		// length-prefixed varint encoding: uniquely decodable, hence
+		// injective on (dets, obs) pairs
+		keyBuf = keyBuf[:0]
+		keyBuf = appendVarint(keyBuf, uint64(len(dets)))
+		for _, d := range dets {
+			keyBuf = appendVarint(keyBuf, uint64(d))
+		}
+		for _, o := range obs {
+			keyBuf = appendVarint(keyBuf, uint64(o))
+		}
+		k := string(keyBuf)
+		mi, ok := index[k]
+		if !ok {
+			mi = len(mechs)
+			index[k] = mi
+			mechs = append(mechs, mech{dets: dets, obs: obs, coeffs: make(map[float64]int)})
+		}
+		mechs[mi].coeffs[coeff]++
+		return nil
+	}
+
+	q2 := make([]int, 2)
+	p2 := make([]pauli.Bits, 2)
+	for opIdx, op := range c.Ops {
+		var err error
+		switch op.Type {
+		case circuit.OpNoiseX:
+			err = addFault(opIdx, []int{op.Q0}, []pauli.Bits{pauli.X}, op.Scale)
+		case circuit.OpNoiseZ:
+			err = addFault(opIdx, []int{op.Q0}, []pauli.Bits{pauli.Z}, op.Scale)
+		case circuit.OpNoiseDep1:
+			for _, pb := range []pauli.Bits{pauli.X, pauli.Y, pauli.Z} {
+				if err = addFault(opIdx, []int{op.Q0}, []pauli.Bits{pb}, op.Scale/3); err != nil {
+					break
+				}
+			}
+		case circuit.OpNoiseDep2:
+			for a := pauli.Bits(0); a <= 3 && err == nil; a++ {
+				for b := pauli.Bits(0); b <= 3; b++ {
+					if a == 0 && b == 0 {
+						continue
+					}
+					q2[0], q2[1] = op.Q0, op.Q1
+					p2[0], p2[1] = a, b
+					if err = addFault(opIdx, q2, p2, op.Scale/15); err != nil {
+						break
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	hb := sparse.NewBuilder(len(c.Detectors), len(mechs))
+	ob := sparse.NewBuilder(len(c.Observables), len(mechs))
+	coeffs := make([]map[float64]int, len(mechs))
+	for m, mm := range mechs {
+		for _, d := range mm.dets {
+			hb.Set(d, m)
+		}
+		for _, o := range mm.obs {
+			ob.Set(o, m)
+		}
+		coeffs[m] = mm.coeffs
+	}
+	return &DEM{
+		NumDets: len(c.Detectors),
+		NumObs:  len(c.Observables),
+		H:       hb.Build(),
+		Obs:     ob.Build(),
+		coeffs:  coeffs,
+	}, nil
+}
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}

@@ -1,0 +1,283 @@
+package dem
+
+import (
+	"math"
+	"testing"
+
+	"bpsf/internal/circuit"
+	"bpsf/internal/gf2"
+)
+
+func TestExtractSingleMechanism(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	c.NoiseX(1, 0)
+	m := c.M(0)
+	c.Detector(m)
+	d, err := Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMechs() != 1 || d.NumDets != 1 {
+		t.Fatalf("mechs=%d dets=%d", d.NumMechs(), d.NumDets)
+	}
+	pr := d.Priors(0.01)
+	if math.Abs(pr[0]-0.01) > 1e-12 {
+		t.Fatalf("prior = %v, want 0.01", pr[0])
+	}
+}
+
+func TestExtractMergesIdenticalFaults(t *testing.T) {
+	// two X channels on the same qubit before one measurement merge into a
+	// single mechanism with odd-combination probability 2p(1-p)
+	c := circuit.New(1)
+	c.R(0)
+	c.NoiseX(1, 0)
+	c.NoiseX(1, 0)
+	m := c.M(0)
+	c.Detector(m)
+	d, err := Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMechs() != 1 {
+		t.Fatalf("mechs = %d, want 1 (merge failed)", d.NumMechs())
+	}
+	if d.MechanismFaults(0) != 2 {
+		t.Fatalf("fault count = %d, want 2", d.MechanismFaults(0))
+	}
+	p := 0.01
+	want := 2 * p * (1 - p)
+	if got := d.Priors(p)[0]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged prior = %v, want %v", got, want)
+	}
+}
+
+func TestExtractDep1SplitsXY(t *testing.T) {
+	// depolarize1 before a Z measurement: X and Y flip it (two faults,
+	// same signature → one mechanism with coefficient 2·(1/3)); Z flips
+	// nothing and is dropped
+	c := circuit.New(1)
+	c.R(0)
+	c.Dep1(1, 0)
+	m := c.M(0)
+	c.Detector(m)
+	d, err := Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMechs() != 1 {
+		t.Fatalf("mechs = %d, want 1", d.NumMechs())
+	}
+	if d.MechanismFaults(0) != 2 {
+		t.Fatalf("faults = %d, want 2 (X and Y)", d.MechanismFaults(0))
+	}
+	p := 0.03
+	q := p / 3
+	want := (1 - (1-2*q)*(1-2*q)) / 2
+	if got := d.Priors(p)[0]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("prior = %v, want %v", got, want)
+	}
+}
+
+func TestExtractDistinctSignatures(t *testing.T) {
+	// X noise on two different qubits, each with own detector: 2 mechanisms
+	c := circuit.New(2)
+	c.R(0).R(1)
+	c.NoiseX(1, 0)
+	c.NoiseX(1, 1)
+	m0 := c.M(0)
+	m1 := c.M(1)
+	c.Detector(m0)
+	c.Detector(m1)
+	d, err := Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMechs() != 2 {
+		t.Fatalf("mechs = %d, want 2", d.NumMechs())
+	}
+	// H must be the 2x2 identity (in some column order)
+	if d.H.NNZ() != 2 || d.H.ColWeight(0) != 1 || d.H.ColWeight(1) != 1 {
+		t.Fatal("H structure wrong")
+	}
+}
+
+func TestExtractObservableTracking(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	c.NoiseX(1, 0)
+	m0 := c.MR(0)
+	m1 := c.M(0)
+	c.Detector(m0)
+	c.Detector(m1)
+	c.Observable(m0)
+	d, err := Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumObs != 1 || d.Obs.NNZ() != 1 {
+		t.Fatalf("observable tracking wrong: obs nnz = %d", d.Obs.NNZ())
+	}
+}
+
+func TestExtractRejectsUndetectableLogical(t *testing.T) {
+	// observable with no detector coverage: X flips the observable only
+	c := circuit.New(1)
+	c.R(0)
+	c.NoiseX(1, 0)
+	m := c.M(0)
+	c.Observable(m)
+	if _, err := Extract(c); err == nil {
+		t.Fatal("undetectable logical fault not rejected")
+	}
+}
+
+func TestExtractNoiselessEmpty(t *testing.T) {
+	c := circuit.New(2)
+	c.R(0).R(1)
+	m := c.M(0)
+	c.M(1)
+	c.Detector(m)
+	d, err := Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMechs() != 0 {
+		t.Fatalf("noiseless circuit has %d mechanisms", d.NumMechs())
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	build := func() *circuit.Circuit {
+		c := circuit.New(3)
+		c.R(0).R(1).R(2)
+		c.H(0)
+		c.Dep1(1, 0)
+		c.CX(0, 1)
+		c.Dep2(1, 0, 1)
+		c.CX(1, 2)
+		c.Dep2(1, 1, 2)
+		m0 := c.MR(0)
+		m1 := c.MR(1)
+		m2 := c.M(2)
+		c.Detector(m0)
+		c.Detector(m0, m1)
+		c.Detector(m1, m2)
+		c.Observable(m2)
+		return c
+	}
+	d1, err := Extract(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Extract(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.NumMechs() != d2.NumMechs() || !d1.H.Equal(d2.H) || !d1.Obs.Equal(d2.Obs) {
+		t.Fatal("extraction not deterministic")
+	}
+}
+
+func TestPriorsClamped(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	c.NoiseX(5, 0) // scale 5: at p=0.2 the raw probability would be 1.0
+	m := c.M(0)
+	c.Detector(m)
+	d, err := Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := d.Priors(0.2)
+	if pr[0] != 0.5 {
+		t.Fatalf("prior = %v, want clamp at 0.5", pr[0])
+	}
+}
+
+func buildSampleDEM(t *testing.T) *DEM {
+	t.Helper()
+	c := circuit.New(4)
+	for q := 0; q < 4; q++ {
+		c.R(q)
+	}
+	for q := 0; q < 4; q++ {
+		c.NoiseX(1, q)
+	}
+	var ms []int
+	for q := 0; q < 4; q++ {
+		ms = append(ms, c.M(q))
+	}
+	c.Detector(ms[0], ms[1])
+	c.Detector(ms[1], ms[2])
+	c.Detector(ms[2], ms[3])
+	c.Detector(ms[3])
+	c.Observable(ms[0])
+	d, err := Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSamplerShotConsistency(t *testing.T) {
+	d := buildSampleDEM(t)
+	s := NewSampler(d, 0.2, 123)
+	for shot := 0; shot < 200; shot++ {
+		sh := s.Sample()
+		e := gf2.NewVec(d.NumMechs())
+		for _, m := range sh.Mechs {
+			e.Flip(m)
+		}
+		if !d.SyndromeOf(e).Equal(sh.Syndrome) {
+			t.Fatal("sampled syndrome inconsistent with mechanism vector")
+		}
+		if !d.ObsOf(e).Equal(sh.ObsFlips) {
+			t.Fatal("sampled observable flips inconsistent")
+		}
+	}
+}
+
+func TestSamplerStatistics(t *testing.T) {
+	d := buildSampleDEM(t)
+	p := 0.1
+	s := NewSampler(d, p, 99)
+	priors := s.Priors()
+	var expect float64
+	for _, q := range priors {
+		expect += q
+	}
+	shots := 20000
+	total := 0
+	for i := 0; i < shots; i++ {
+		total += len(s.Sample().Mechs)
+	}
+	mean := float64(total) / float64(shots)
+	if math.Abs(mean-expect) > 0.05*expect+0.02 {
+		t.Fatalf("mean fired = %v, expect ≈ %v", mean, expect)
+	}
+}
+
+func TestSamplerDeterministicSeed(t *testing.T) {
+	d := buildSampleDEM(t)
+	a := NewSampler(d, 0.2, 7)
+	b := NewSampler(d, 0.2, 7)
+	for i := 0; i < 50; i++ {
+		sa, sb := a.Sample(), b.Sample()
+		if !sa.Syndrome.Equal(sb.Syndrome) || !sa.ObsFlips.Equal(sb.ObsFlips) {
+			t.Fatal("same seed produced different shots")
+		}
+	}
+}
+
+func TestSamplerZeroRate(t *testing.T) {
+	d := buildSampleDEM(t)
+	s := NewSampler(d, 0, 1)
+	for i := 0; i < 10; i++ {
+		sh := s.Sample()
+		if len(sh.Mechs) != 0 || !sh.Syndrome.IsZero() {
+			t.Fatal("p=0 sampled an error")
+		}
+	}
+}

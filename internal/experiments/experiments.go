@@ -1,0 +1,266 @@
+// Package experiments defines one reproduction harness per table and
+// figure of the paper's evaluation (the experiment index in DESIGN.md §2).
+// Each harness builds the exact workload — code, noise model, decoder
+// grid — runs the Monte-Carlo or latency measurement, prints the rows the
+// paper reports, and returns the figure's series for CSV export.
+//
+// Every harness has two scales: the default "quick" parameters keep the
+// whole suite runnable in minutes on one core (fewer shots, reduced rounds
+// for the largest codes); Opts.Full switches to the paper-scale grids.
+// EXPERIMENTS.md records which scale produced the committed numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/bpsf"
+	"bpsf/internal/code"
+	"bpsf/internal/codes"
+	"bpsf/internal/dem"
+	"bpsf/internal/memexp"
+	"bpsf/internal/osd"
+	"bpsf/internal/sim"
+	"bpsf/internal/sparse"
+)
+
+// Opts controls the scale of a harness run.
+type Opts struct {
+	// Shots is the per-point sample count (0 = figure default).
+	Shots int
+	// Seed seeds all samplers.
+	Seed int64
+	// Full selects paper-scale rounds and error-rate grids.
+	Full bool
+	// Out receives the printed tables (nil = discard).
+	Out io.Writer
+}
+
+func (o Opts) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o Opts) shots(def int) int {
+	if o.Shots > 0 {
+		return o.Shots
+	}
+	return def
+}
+
+func (o Opts) seed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 20260608
+}
+
+// FigureResult is a harness's exportable output.
+type FigureResult struct {
+	// Name identifies the experiment ("fig07", "table1", ...).
+	Name string
+	// Series holds the figure's curves (x = physical error rate unless
+	// noted).
+	Series []sim.Series
+	// Notes records scale reductions relative to the paper.
+	Notes string
+}
+
+// ---- decoder grid specification ----
+
+// Spec describes one decoder configuration in a figure's legend.
+type Spec struct {
+	Kind       string // "bp", "bposd", "bpsf"
+	Label      string // legend label (derived when empty)
+	BPIters    int
+	Schedule   bp.Schedule
+	OSDMethod  osd.Method
+	OSDOrder   int
+	Phi        int
+	WMax       int
+	NS         int
+	Policy     bpsf.TrialPolicy
+	TrialIters int
+	Workers    int
+	DecodeAll  bool
+}
+
+// BPSpec is a plain-BP decoder entry.
+func BPSpec(iters int) Spec { return Spec{Kind: "bp", BPIters: iters} }
+
+// BPOSDSpec is the BP-OSD baseline entry (OSD-CS of the given order).
+func BPOSDSpec(iters, order int) Spec {
+	return Spec{Kind: "bposd", BPIters: iters, OSDMethod: osd.OSDCS, OSDOrder: order}
+}
+
+// BPSFCapacitySpec is the paper's code-capacity BP-SF configuration
+// (exhaustive trials).
+func BPSFCapacitySpec(iters, phi, wMax int) Spec {
+	return Spec{Kind: "bpsf", BPIters: iters, Phi: phi, WMax: wMax, Policy: bpsf.Exhaustive}
+}
+
+// BPSFCircuitSpec is the paper's circuit-level BP-SF configuration
+// (sampled trials).
+func BPSFCircuitSpec(iters, phi, wMax, ns int) Spec {
+	return Spec{Kind: "bpsf", BPIters: iters, Phi: phi, WMax: wMax, NS: ns, Policy: bpsf.Sampled}
+}
+
+// DisplayLabel returns the legend label.
+func (s Spec) DisplayLabel() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	switch s.Kind {
+	case "bp":
+		return fmt.Sprintf("BP%d", s.BPIters)
+	case "bposd":
+		return fmt.Sprintf("BP%d-OSD%d", s.BPIters, s.OSDOrder)
+	case "bpsf":
+		l := fmt.Sprintf("BP-SF(BP%d,wmax=%d,phi=%d", s.BPIters, s.WMax, s.Phi)
+		if s.Policy == bpsf.Sampled {
+			l += fmt.Sprintf(",ns=%d", s.NS)
+		}
+		if s.Workers > 1 {
+			l += fmt.Sprintf(",P=%d", s.Workers)
+		}
+		return l + ")"
+	default:
+		return s.Kind
+	}
+}
+
+// Factory converts the spec into a sim decoder factory.
+func (s Spec) Factory(seed int64) sim.Factory {
+	return func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
+		switch s.Kind {
+		case "bp":
+			return sim.NewBP(h, priors, bp.Config{MaxIter: s.BPIters, Schedule: s.Schedule}), nil
+		case "bposd":
+			return sim.NewBPOSD(h, priors,
+				bp.Config{MaxIter: s.BPIters, Schedule: s.Schedule},
+				osd.Config{Method: s.OSDMethod, Order: s.OSDOrder}), nil
+		case "bpsf":
+			trialIters := s.TrialIters
+			if trialIters == 0 {
+				trialIters = s.BPIters
+			}
+			return sim.NewBPSF(h, priors, bpsf.Config{
+				Init:            bp.Config{MaxIter: s.BPIters, Schedule: s.Schedule},
+				Trial:           bp.Config{MaxIter: trialIters, Schedule: s.Schedule},
+				PhiSize:         s.Phi,
+				WMax:            s.WMax,
+				NS:              s.NS,
+				Policy:          s.Policy,
+				Workers:         s.Workers,
+				Seed:            seed,
+				DecodeAllTrials: s.DecodeAll,
+			})
+		default:
+			return nil, fmt.Errorf("experiments: unknown decoder kind %q", s.Kind)
+		}
+	}
+}
+
+// ---- DEM cache ----
+
+var demCache sync.Map // key string → *dem.DEM
+
+// CachedDEM builds (or reuses) the memory-experiment DEM for a catalog
+// code at the given round count.
+func CachedDEM(codeName string, rounds int) (*dem.DEM, *code.CSS, error) {
+	css, err := codes.Get(codeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := fmt.Sprintf("%s/%d", codeName, rounds)
+	if v, ok := demCache.Load(key); ok {
+		return v.(*dem.DEM), css, nil
+	}
+	circ, err := memexp.Build(css, rounds, memexp.Uniform())
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := dem.Extract(circ)
+	if err != nil {
+		return nil, nil, err
+	}
+	demCache.Store(key, d)
+	return d, css, nil
+}
+
+// roundsFor returns the experiment's round count: the paper's d rounds in
+// Full mode, or the reduced quick-mode count.
+func roundsFor(codeName string, quick int, o Opts) int {
+	if o.Full {
+		return codes.Catalog()[codeName].Rounds
+	}
+	return quick
+}
+
+// ---- shared sweep runners ----
+
+// capacitySweep runs a decoder grid over a code-capacity error-rate grid.
+func capacitySweep(name string, css *code.CSS, specs []Spec, ps []float64, shots int, o Opts) (FigureResult, error) {
+	res := FigureResult{Name: name}
+	tb := sim.NewTable("decoder", "p", "shots", "failures", "LER", "95% interval", "avg iters")
+	for _, spec := range specs {
+		series := sim.Series{Label: spec.DisplayLabel()}
+		for pi, p := range ps {
+			mc, err := sim.RunCapacity(css, spec.Factory(o.seed()+int64(pi)), sim.Config{
+				P: p, Shots: shots, Seed: o.seed() + int64(pi)*1000,
+			})
+			if err != nil {
+				return res, err
+			}
+			series.AddWithBounds(p, mc.LER, mc.LERLow, mc.LERHigh)
+			tb.Row(spec.DisplayLabel(), p, mc.Shots, mc.Failures, mc.LER,
+				fmt.Sprintf("[%.2g,%.2g]", mc.LERLow, mc.LERHigh), mc.AvgIters)
+		}
+		res.Series = append(res.Series, series)
+	}
+	fmt.Fprintf(o.out(), "== %s: %s (code capacity) ==\n", name, css.Name)
+	if err := tb.Write(o.out()); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// circuitSweep runs a decoder grid over a circuit-level error-rate grid.
+func circuitSweep(name, codeName string, quickRounds int, specs []Spec, ps []float64, shots int, o Opts) (FigureResult, error) {
+	rounds := roundsFor(codeName, quickRounds, o)
+	d, css, err := CachedDEM(codeName, rounds)
+	if err != nil {
+		return FigureResult{Name: name}, err
+	}
+	res := FigureResult{
+		Name:  name,
+		Notes: fmt.Sprintf("rounds=%d (paper: %d), mechanisms=%d", rounds, codes.Catalog()[codeName].Rounds, d.NumMechs()),
+	}
+	tb := sim.NewTable("decoder", "p", "shots", "failures", "LER/round", "95% int (block)", "avg iters", "avg ms")
+	for _, spec := range specs {
+		series := sim.Series{Label: spec.DisplayLabel()}
+		for pi, p := range ps {
+			mc, err := sim.RunCircuit(d, rounds, spec.Factory(o.seed()+int64(pi)), sim.Config{
+				P: p, Shots: shots, Seed: o.seed() + int64(pi)*1000,
+			})
+			if err != nil {
+				return res, err
+			}
+			series.AddWithBounds(p, mc.LERRound,
+				sim.LERPerRound(mc.LERLow, rounds), sim.LERPerRound(mc.LERHigh, rounds))
+			tb.Row(spec.DisplayLabel(), p, mc.Shots, mc.Failures, mc.LERRound,
+				fmt.Sprintf("[%.2g,%.2g]", mc.LERLow, mc.LERHigh), mc.AvgIters,
+				float64(mc.AvgTime.Microseconds())/1000.0)
+		}
+		res.Series = append(res.Series, series)
+	}
+	fmt.Fprintf(o.out(), "== %s: %s circuit-level, %d rounds ==\n", name, css.Name, rounds)
+	if err := tb.Write(o.out()); err != nil {
+		return res, err
+	}
+	return res, nil
+}

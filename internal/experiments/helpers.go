@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"bpsf/internal/osd"
+	"bpsf/internal/sim"
+)
+
+// BPOSD0Spec is the BP-OSD baseline with order-0 post-processing
+// ("BP1000-OSD0").
+func BPOSD0Spec(iters int) Spec {
+	return Spec{Kind: "bposd", BPIters: iters, OSDMethod: osd.OSD0}
+}
+
+func newConstructionTable() *sim.Table {
+	return sim.NewTable("code", "n", "k", "d", "checks/side", "max check weight")
+}
+
+// newParamSeries encodes a construction's (n, k) as a one-point series so
+// construction tables export through the same CSV path as figures.
+func newParamSeries(label string, n, k int) sim.Series {
+	s := sim.Series{Label: label}
+	s.Add(float64(n), float64(k))
+	return s
+}

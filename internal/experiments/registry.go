@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Harness is a figure/table reproduction entry point.
+type Harness func(Opts) (FigureResult, error)
+
+// Registry maps experiment names (DESIGN.md §2) to harnesses.
+func Registry() map[string]Harness {
+	return map[string]Harness{
+		"fig02":  Fig2,
+		"fig03":  Fig3,
+		"fig05":  Fig5,
+		"fig06":  Fig6,
+		"fig07":  Fig7,
+		"fig08":  Fig8,
+		"fig09":  Fig9,
+		"fig10":  Fig10,
+		"fig11":  Fig11,
+		"fig12":  Fig12,
+		"fig13":  Fig13,
+		"fig14":  Fig14,
+		"fig15":  Fig15,
+		"fig16":  Fig16,
+		"fig17a": Fig17a,
+		"fig17b": Fig17b,
+		"fig17c": Fig17c,
+		"table1": Table1,
+		"table2": Table2,
+		"table3": Table3,
+
+		"ablation-damping":       AblationDamping,
+		"ablation-trials":        AblationTrialPolicy,
+		"ablation-first-success": AblationFirstSuccess,
+		"ablation-variant":       AblationVariant,
+	}
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for k := range reg {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by name.
+func Run(name string, o Opts) (FigureResult, error) {
+	h, ok := Registry()[name]
+	if !ok {
+		return FigureResult{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+	return h(o)
+}

@@ -1,0 +1,69 @@
+package gf2
+
+// QuotientBasis returns representatives of a basis of ker(check)/rowspace(mod):
+// vectors v with check·v = 0 that are linearly independent of each other and
+// of the rows of mod.
+//
+// For a CSS code this computes logical operators: X logicals are
+// QuotientBasis(HZ, HX) (kernel of the Z checks modulo the X stabilizers),
+// and symmetrically for Z logicals. For a subsystem code, passing the full
+// gauge group as mod yields the *bare* logical operators.
+//
+// The number of returned rows is dim ker(check) − rank(mod ∩ ker...). For a
+// valid CSS code it equals k = n − rank(HX) − rank(HZ).
+func QuotientBasis(check, mod *Mat) *Mat {
+	if check.Cols() != mod.Cols() {
+		panic("gf2: QuotientBasis column mismatch")
+	}
+	ker := NullspaceBasis(check)
+	// Incrementally reduce kernel vectors against an RREF accumulation of
+	// mod's rows plus already-accepted representatives.
+	n := check.Cols()
+	type redRow struct {
+		v   Vec
+		piv int
+	}
+	var red []redRow
+
+	reduce := func(v Vec) Vec {
+		r := v.Clone()
+		for _, rr := range red {
+			if r.Get(rr.piv) {
+				r.Xor(rr.v)
+			}
+		}
+		return r
+	}
+	insert := func(v Vec) bool {
+		r := reduce(v)
+		if r.IsZero() {
+			return false
+		}
+		piv := r.Support()[0]
+		// keep rows reduced against each other for stability
+		for i := range red {
+			if red[i].v.Get(piv) {
+				red[i].v.Xor(r)
+			}
+		}
+		red = append(red, redRow{v: r, piv: piv})
+		return true
+	}
+
+	for i := 0; i < mod.Rows(); i++ {
+		insert(mod.Row(i))
+	}
+
+	var logicals []Vec
+	for i := 0; i < ker.Rows(); i++ {
+		v := ker.Row(i)
+		if insert(v) {
+			logicals = append(logicals, v)
+		}
+	}
+	out := NewMat(len(logicals), n)
+	for i, v := range logicals {
+		out.SetRow(i, v)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package gf2
+
+// Echelon holds the result of Gaussian elimination over GF(2).
+//
+// R is the reduced matrix. When Full is true R is in reduced row echelon
+// form (RREF): each pivot column has a single 1, located in its pivot row.
+// PivotCols[i] is the column of the pivot in row i (rows 0..Rank-1);
+// RowOps, if requested, records the elimination as a Rank(A).Rows×A.Rows
+// transform T with R[:Rank] = (T · A)[:Rank].
+type Echelon struct {
+	R         *Mat
+	Rank      int
+	PivotCols []int
+	RowOps    *Mat // nil unless requested
+	Full      bool
+}
+
+// RowReduce computes an echelon form of a copy of a.
+//
+// If full is true the result is the RREF (entries above pivots cleared too);
+// otherwise only entries below pivots are cleared. If trackOps is true the
+// returned Echelon carries the accumulated row-operation matrix T such that
+// R = T·a; this is what OSD uses to transform syndromes.
+//
+// colOrder, when non-nil, gives the order in which columns are scanned for
+// pivots (a permutation of 0..cols-1, most-preferred first). OSD passes the
+// reliability order here. When nil, natural order is used.
+func RowReduce(a *Mat, full, trackOps bool, colOrder []int) Echelon {
+	r := a.Clone()
+	var ops *Mat
+	if trackOps {
+		ops = Identity(a.rows)
+	}
+	order := colOrder
+	if order == nil {
+		order = make([]int, a.cols)
+		for j := range order {
+			order[j] = j
+		}
+	}
+	pivots := make([]int, 0, minInt(a.rows, a.cols))
+	row := 0
+	for _, col := range order {
+		if row >= r.rows {
+			break
+		}
+		// find a pivot at or below `row`
+		sel := -1
+		for i := row; i < r.rows; i++ {
+			if r.Get(i, col) {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		r.SwapRows(row, sel)
+		if ops != nil {
+			ops.SwapRows(row, sel)
+		}
+		lo := row + 1
+		if full {
+			lo = 0
+		}
+		for i := lo; i < r.rows; i++ {
+			if i != row && r.Get(i, col) {
+				r.XorRows(i, row)
+				if ops != nil {
+					ops.XorRows(i, row)
+				}
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return Echelon{R: r, Rank: row, PivotCols: pivots, RowOps: ops, Full: full}
+}
+
+// Rank returns the GF(2) rank of a.
+func Rank(a *Mat) int {
+	return RowReduce(a, false, false, nil).Rank
+}
+
+// Solve finds one solution x of a·x = b, or reports ok=false when the system
+// is inconsistent. Free variables are set to zero.
+func Solve(a *Mat, b Vec) (x Vec, ok bool) {
+	if b.Len() != a.rows {
+		panic("gf2: Solve rhs length mismatch")
+	}
+	aug := HStack(a, colVec(b))
+	e := RowReduce(aug, true, false, augOrder(a.cols))
+	x = NewVec(a.cols)
+	for i, col := range e.PivotCols {
+		if col == a.cols {
+			// pivot in the augmented column ⇒ inconsistent
+			return Vec{}, false
+		}
+		if e.R.Get(i, a.cols) {
+			x.Set(col, true)
+		}
+	}
+	// Rows below rank with a 1 in the augmented column also signal
+	// inconsistency, but RREF with augOrder scans the augmented column last,
+	// so such rows would have produced an augmented pivot above.
+	return x, true
+}
+
+// augOrder returns the column scan order 0..n-1 followed by n (the augmented
+// column), guaranteeing the RHS column is only chosen as a pivot if the
+// system is inconsistent.
+func augOrder(n int) []int {
+	order := make([]int, n+1)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// colVec returns b as an n×1 matrix.
+func colVec(b Vec) *Mat {
+	m := NewMat(b.Len(), 1)
+	for _, i := range b.Support() {
+		m.Set(i, 0, true)
+	}
+	return m
+}
+
+// NullspaceBasis returns a basis (as matrix rows) of {x : a·x = 0}.
+// The basis has a.Cols() − Rank(a) rows.
+func NullspaceBasis(a *Mat) *Mat {
+	e := RowReduce(a, true, false, nil)
+	isPivot := make([]bool, a.cols)
+	pivotRow := make([]int, a.cols)
+	for i, col := range e.PivotCols {
+		isPivot[col] = true
+		pivotRow[col] = i
+	}
+	free := make([]int, 0, a.cols-e.Rank)
+	for j := 0; j < a.cols; j++ {
+		if !isPivot[j] {
+			free = append(free, j)
+		}
+	}
+	basis := NewMat(len(free), a.cols)
+	for bi, fj := range free {
+		basis.Set(bi, fj, true)
+		// pivot variables determined by the free column's entries
+		for i, col := range e.PivotCols {
+			if e.R.Get(i, fj) {
+				basis.Set(bi, col, true)
+			}
+		}
+	}
+	return basis
+}
+
+// RowBasis returns a matrix whose rows form a basis of the row space of a.
+func RowBasis(a *Mat) *Mat {
+	e := RowReduce(a, true, false, nil)
+	out := NewMat(e.Rank, a.cols)
+	copy(out.data, e.R.data[:e.Rank*e.R.stride])
+	return out
+}
+
+// InRowSpace reports whether v lies in the row space of basis, where basis
+// must already be in RREF (as produced by RowBasis). It reduces a copy of v
+// against the basis rows.
+func InRowSpace(basis *Mat, pivotCols []int, v Vec) bool {
+	r := v.Clone()
+	for i, col := range pivotCols {
+		if r.Get(col) {
+			r.Xor(Vec{n: basis.cols, w: basis.rowWords(i)})
+		}
+	}
+	return r.IsZero()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowReduceRankIdentity(t *testing.T) {
+	if Rank(Identity(10)) != 10 {
+		t.Fatal("rank of identity wrong")
+	}
+	if Rank(NewMat(5, 7)) != 0 {
+		t.Fatal("rank of zero matrix wrong")
+	}
+}
+
+func TestRowReduceDuplicateRows(t *testing.T) {
+	m := MatFromRows([][]int{
+		{1, 0, 1},
+		{1, 0, 1},
+		{0, 1, 1},
+	})
+	if got := Rank(m); got != 2 {
+		t.Fatalf("rank = %d, want 2", got)
+	}
+}
+
+func TestRowReduceRREFShape(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 30; trial++ {
+		a := randMat(r, 1+r.Intn(25), 1+r.Intn(25))
+		e := RowReduce(a, true, false, nil)
+		// each pivot column must contain a single 1, in the pivot row
+		for i, col := range e.PivotCols {
+			for row := 0; row < a.Rows(); row++ {
+				want := row == i
+				if e.R.Get(row, col) != want {
+					t.Fatalf("RREF pivot column %d not unit at row %d", col, row)
+				}
+			}
+		}
+		// rows past rank must be zero
+		for row := e.Rank; row < a.Rows(); row++ {
+			if e.R.RowWeight(row) != 0 {
+				t.Fatalf("row %d below rank nonzero", row)
+			}
+		}
+	}
+}
+
+func TestRowReduceTracksOps(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randMat(rr, 1+rr.Intn(20), 1+rr.Intn(20))
+		e := RowReduce(a, true, true, nil)
+		return e.RowOps.Mul(a).Equal(e.R)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowReduceColOrder(t *testing.T) {
+	// with reversed column order, the first pivot must be the last column
+	// that contains a 1
+	a := MatFromRows([][]int{
+		{1, 1, 0},
+		{0, 1, 1},
+	})
+	order := []int{2, 1, 0}
+	e := RowReduce(a, true, false, order)
+	if e.Rank != 2 {
+		t.Fatalf("rank = %d, want 2", e.Rank)
+	}
+	if e.PivotCols[0] != 2 {
+		t.Fatalf("first pivot = %d, want 2", e.PivotCols[0])
+	}
+}
+
+func TestSolveConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rr.Intn(25), 1+rr.Intn(25)
+		a := randMat(rr, rows, cols)
+		// construct a consistent rhs from a random x
+		x0 := randVec(rr, cols)
+		b := a.MulVec(x0)
+		x, ok := Solve(a, b)
+		if !ok {
+			return false
+		}
+		return a.MulVec(x).Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// x + y = 0, x + y = 1 has no solution
+	a := MatFromRows([][]int{{1, 1}, {1, 1}})
+	b := VecFromInts([]int{0, 1})
+	if _, ok := Solve(a, b); ok {
+		t.Fatal("inconsistent system reported solvable")
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	a := MatFromRows([][]int{{1, 1, 0}, {0, 1, 1}})
+	x, ok := Solve(a, NewVec(2))
+	if !ok || !x.IsZero() {
+		t.Fatal("zero rhs should give zero solution with free vars zero")
+	}
+}
+
+func TestNullspaceBasis(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randMat(rr, 1+rr.Intn(20), 1+rr.Intn(20))
+		ns := NullspaceBasis(a)
+		if ns.Rows() != a.Cols()-Rank(a) {
+			return false
+		}
+		// every basis vector annihilated by a
+		for i := 0; i < ns.Rows(); i++ {
+			if !a.MulVec(ns.Row(i)).IsZero() {
+				return false
+			}
+		}
+		// basis rows independent
+		return Rank(ns) == ns.Rows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowBasisSpansAndInRowSpace(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 30; trial++ {
+		a := randMat(r, 1+r.Intn(20), 1+r.Intn(20))
+		basis := RowBasis(a)
+		e := RowReduce(a, true, false, nil)
+		if basis.Rows() != e.Rank {
+			t.Fatalf("RowBasis rows = %d, want rank %d", basis.Rows(), e.Rank)
+		}
+		// every original row is in the row space
+		for i := 0; i < a.Rows(); i++ {
+			if !InRowSpace(basis, e.PivotCols, a.Row(i)) {
+				t.Fatalf("row %d not in its own row space", i)
+			}
+		}
+	}
+}
+
+func TestInRowSpaceRejects(t *testing.T) {
+	a := MatFromRows([][]int{{1, 1, 0}})
+	e := RowReduce(a, true, false, nil)
+	basis := RowBasis(a)
+	if InRowSpace(basis, e.PivotCols, VecFromInts([]int{0, 0, 1})) {
+		t.Fatal("vector outside row space accepted")
+	}
+	if !InRowSpace(basis, e.PivotCols, VecFromInts([]int{1, 1, 0})) {
+		t.Fatal("row space member rejected")
+	}
+}
+
+func TestQuotientBasisCSSToy(t *testing.T) {
+	// Steane-like toy: use the [7,4,3] Hamming code for both HX and HZ.
+	h := MatFromRows([][]int{
+		{1, 0, 1, 0, 1, 0, 1},
+		{0, 1, 1, 0, 0, 1, 1},
+		{0, 0, 0, 1, 1, 1, 1},
+	})
+	// Steane code: HX = HZ = h, k = 7 - 3 - 3 = 1
+	lx := QuotientBasis(h, h)
+	if lx.Rows() != 1 {
+		t.Fatalf("Steane logicals = %d, want 1", lx.Rows())
+	}
+	// logical must be in ker(h) and outside rowspace(h)
+	if !h.MulVec(lx.Row(0)).IsZero() {
+		t.Fatal("logical not in kernel")
+	}
+	e := RowReduce(h, true, false, nil)
+	if InRowSpace(RowBasis(h), e.PivotCols, lx.Row(0)) {
+		t.Fatal("logical inside stabilizer row space")
+	}
+}
+
+func TestQuotientBasisFullMod(t *testing.T) {
+	// modding the kernel by itself leaves nothing
+	h := MatFromRows([][]int{{1, 1, 0, 0}})
+	ker := NullspaceBasis(h)
+	q := QuotientBasis(h, ker)
+	if q.Rows() != 0 {
+		t.Fatalf("quotient by full kernel = %d rows, want 0", q.Rows())
+	}
+}

@@ -1,0 +1,163 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(r *rand.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func TestVecSetGetFlip(t *testing.T) {
+	v := NewVec(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in zero vector", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Flip", i)
+		}
+	}
+}
+
+func TestVecWeightSupport(t *testing.T) {
+	v := VecFromSupport(200, []int{3, 64, 128, 199})
+	if got := v.Weight(); got != 4 {
+		t.Fatalf("Weight = %d, want 4", got)
+	}
+	sup := v.Support()
+	want := []int{3, 64, 128, 199}
+	if len(sup) != len(want) {
+		t.Fatalf("Support = %v, want %v", sup, want)
+	}
+	for i := range sup {
+		if sup[i] != want[i] {
+			t.Fatalf("Support = %v, want %v", sup, want)
+		}
+	}
+}
+
+func TestVecFromInts(t *testing.T) {
+	v := VecFromInts([]int{1, 0, 1, 1, 0})
+	if v.Len() != 5 || v.Weight() != 3 || !v.Get(0) || v.Get(1) || !v.Get(3) {
+		t.Fatalf("VecFromInts wrong: %s", v)
+	}
+	ints := v.Ints()
+	for i, b := range []int{1, 0, 1, 1, 0} {
+		if ints[i] != b {
+			t.Fatalf("Ints()[%d] = %d, want %d", i, ints[i], b)
+		}
+	}
+}
+
+func TestVecXorSelfInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(300)
+		a := randVec(rr, n)
+		b := randVec(rr, n)
+		c := a.Clone()
+		c.Xor(b)
+		c.Xor(b)
+		return c.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecDotBilinear(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(200)
+		a, b, c := randVec(rr, n), randVec(rr, n), randVec(rr, n)
+		// <a+b, c> == <a,c> xor <b,c>
+		ab := a.Clone()
+		ab.Xor(b)
+		return ab.Dot(c) == (a.Dot(c) != b.Dot(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecDotCommutes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(200)
+		a, b := randVec(rr, n), randVec(rr, n)
+		return a.Dot(b) == b.Dot(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecZeroIsZero(t *testing.T) {
+	v := NewVec(77)
+	if !v.IsZero() {
+		t.Fatal("new vector not zero")
+	}
+	v.Set(76, true)
+	if v.IsZero() {
+		t.Fatal("vector with bit set reported zero")
+	}
+	v.Zero()
+	if !v.IsZero() {
+		t.Fatal("Zero() did not clear")
+	}
+}
+
+func TestVecAnd(t *testing.T) {
+	a := VecFromSupport(10, []int{1, 3, 5})
+	b := VecFromSupport(10, []int{3, 5, 7})
+	a.And(b)
+	sup := a.Support()
+	if len(sup) != 2 || sup[0] != 3 || sup[1] != 5 {
+		t.Fatalf("And support = %v, want [3 5]", sup)
+	}
+}
+
+func TestVecCopyFromEqualString(t *testing.T) {
+	a := VecFromInts([]int{1, 0, 1})
+	b := NewVec(3)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	if a.String() != "101" {
+		t.Fatalf("String = %q, want 101", a.String())
+	}
+	if a.Equal(NewVec(4)) {
+		t.Fatal("vectors of different length reported equal")
+	}
+}
+
+func TestVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	a, b := NewVec(3), NewVec(4)
+	a.Xor(b)
+}

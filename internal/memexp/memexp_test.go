@@ -1,0 +1,179 @@
+package memexp
+
+import (
+	"testing"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/dem"
+	"bpsf/internal/gf2"
+)
+
+func TestBuildRejectsBadRounds(t *testing.T) {
+	c, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(c, 0, Uniform()); err == nil {
+		t.Fatal("rounds=0 accepted")
+	}
+}
+
+func TestSurfaceMemoryStructure(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 3
+	c, err := Build(css, rounds, Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	// detectors: (T+1)·|Sz| + (T-1)·|Sx| = 4·6 + 2·6 = 36
+	if st.Detectors != 36 {
+		t.Fatalf("detectors = %d, want 36", st.Detectors)
+	}
+	if st.Observables != 1 {
+		t.Fatalf("observables = %d, want 1", st.Observables)
+	}
+	// measurements: T·(6+6) ancilla + 13 data
+	if st.Measurements != rounds*12+13 {
+		t.Fatalf("measurements = %d", st.Measurements)
+	}
+}
+
+func TestNoiselessMemoryHasNoMechanisms(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(css, 2, Noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dem.Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMechs() != 0 {
+		t.Fatalf("noiseless memory has %d mechanisms", d.NumMechs())
+	}
+}
+
+// TestSurfaceDEMFaultDistance verifies there are no undetectable logical
+// faults (Extract errors out on any) and that every mechanism triggers at
+// least one detector.
+func TestSurfaceDEMWellFormed(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(css, 3, Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dem.Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMechs() == 0 {
+		t.Fatal("no mechanisms extracted")
+	}
+	for m := 0; m < d.NumMechs(); m++ {
+		if d.H.ColWeight(m) == 0 {
+			t.Fatalf("mechanism %d flips no detector", m)
+		}
+		if d.H.ColWeight(m) > 6 {
+			t.Fatalf("mechanism %d flips %d detectors (implausibly many)", m, d.H.ColWeight(m))
+		}
+	}
+}
+
+func TestBB72DEMWellFormed(t *testing.T) {
+	css, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(css, 2, Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dem.Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// detectors: (T+1)·36 + (T-1)·36 = 3·36 + 1·36 = 144
+	if d.NumDets != 144 {
+		t.Fatalf("detectors = %d, want 144", d.NumDets)
+	}
+	if d.NumObs != 12 {
+		t.Fatalf("observables = %d, want 12", d.NumObs)
+	}
+	if d.NumMechs() < 500 {
+		t.Fatalf("suspiciously few mechanisms: %d", d.NumMechs())
+	}
+}
+
+// TestSHYPSGaugeComboDetectors is the key subsystem-code validation: the
+// SHYPS memory experiment must produce a well-formed DEM (no undetectable
+// logical faults), which exercises stabilizer-as-gauge-XOR detectors.
+func TestSHYPSGaugeComboDetectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SHYPS extraction is slow; skipped in -short")
+	}
+	css, err := codes.SHYPS225()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 2
+	c, err := Build(css, rounds, Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dem.Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// detectors: (T+1)·44 + (T-1)·44 = 3·44 + 44 = 176
+	if d.NumDets != (rounds+1)*44+(rounds-1)*44 {
+		t.Fatalf("detectors = %d", d.NumDets)
+	}
+	if d.NumObs != 16 {
+		t.Fatalf("observables = %d, want 16", d.NumObs)
+	}
+	if d.NumMechs() == 0 {
+		t.Fatal("no mechanisms")
+	}
+}
+
+// TestSampledShotsDecodeWithOracle: end-to-end pipeline smoke test — shots
+// sampled from the surface-code DEM must be decodable by an oracle that
+// knows the mechanism vector (residual zero ⇒ observables match).
+func TestSampledShotsObservablesMatchOracle(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(css, 3, Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dem.Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dem.NewSampler(d, 0.01, 42)
+	for shot := 0; shot < 100; shot++ {
+		sh := s.Sample()
+		e := gf2.NewVec(d.NumMechs())
+		for _, m := range sh.Mechs {
+			e.Flip(m)
+		}
+		if !d.SyndromeOf(e).Equal(sh.Syndrome) {
+			t.Fatal("syndrome mismatch")
+		}
+		if !d.ObsOf(e).Equal(sh.ObsFlips) {
+			t.Fatal("observable mismatch")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package noise implements the code-capacity error model of the paper's
+// §V-A: independent single-qubit depolarizing noise — X, Y and Z each with
+// probability p/3 on every data qubit, perfect syndrome extraction.
+package noise
+
+import (
+	"math/rand"
+
+	"bpsf/internal/gf2"
+)
+
+// CapacitySampler draws depolarizing errors over n qubits.
+type CapacitySampler struct {
+	n   int
+	p   float64
+	rng *rand.Rand
+}
+
+// NewCapacitySampler returns a sampler at physical error rate p.
+func NewCapacitySampler(n int, p float64, seed int64) *CapacitySampler {
+	return &CapacitySampler{n: n, p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws one error: ex marks qubits with an X component (X or Y
+// errors), ez marks qubits with a Z component (Z or Y).
+func (s *CapacitySampler) Sample() (ex, ez gf2.Vec) {
+	ex = gf2.NewVec(s.n)
+	ez = gf2.NewVec(s.n)
+	for q := 0; q < s.n; q++ {
+		r := s.rng.Float64()
+		switch {
+		case r < s.p/3:
+			ex.Set(q, true)
+		case r < 2*s.p/3:
+			ez.Set(q, true)
+		case r < s.p:
+			ex.Set(q, true)
+			ez.Set(q, true)
+		}
+	}
+	return ex, ez
+}
+
+// MarginalProb returns the per-qubit probability of an X component (equal
+// to that of a Z component) under depolarizing noise at rate p: 2p/3.
+// Decoders use it as their prior.
+func MarginalProb(p float64) float64 { return 2 * p / 3 }
+
+// UniformPriors returns an n-vector of per-bit priors all equal to q.
+func UniformPriors(n int, q float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = q
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMarginalProb(t *testing.T) {
+	if got := MarginalProb(0.03); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("MarginalProb(0.03) = %v, want 0.02", got)
+	}
+}
+
+func TestUniformPriors(t *testing.T) {
+	ps := UniformPriors(5, 0.1)
+	if len(ps) != 5 {
+		t.Fatal("length wrong")
+	}
+	for _, p := range ps {
+		if p != 0.1 {
+			t.Fatal("value wrong")
+		}
+	}
+}
+
+func TestCapacitySamplerStatistics(t *testing.T) {
+	const (
+		n     = 200
+		p     = 0.06
+		shots = 2000
+	)
+	s := NewCapacitySampler(n, p, 7)
+	xCount, zCount, bothCount := 0, 0, 0
+	for i := 0; i < shots; i++ {
+		ex, ez := s.Sample()
+		xCount += ex.Weight()
+		zCount += ez.Weight()
+		both := ex.Clone()
+		both.And(ez)
+		bothCount += both.Weight()
+	}
+	total := float64(n * shots)
+	// X component rate = 2p/3 (X or Y); same for Z; Y rate = p/3
+	if got, want := float64(xCount)/total, 2*p/3; math.Abs(got-want) > 0.005 {
+		t.Fatalf("X-component rate %v, want %v", got, want)
+	}
+	if got, want := float64(zCount)/total, 2*p/3; math.Abs(got-want) > 0.005 {
+		t.Fatalf("Z-component rate %v, want %v", got, want)
+	}
+	if got, want := float64(bothCount)/total, p/3; math.Abs(got-want) > 0.004 {
+		t.Fatalf("Y rate %v, want %v", got, want)
+	}
+}
+
+func TestCapacitySamplerDeterministic(t *testing.T) {
+	a := NewCapacitySampler(50, 0.1, 3)
+	b := NewCapacitySampler(50, 0.1, 3)
+	for i := 0; i < 20; i++ {
+		ax, az := a.Sample()
+		bx, bz := b.Sample()
+		if !ax.Equal(bx) || !az.Equal(bz) {
+			t.Fatal("same seed produced different errors")
+		}
+	}
+}
+
+func TestCapacitySamplerZeroRate(t *testing.T) {
+	s := NewCapacitySampler(30, 0, 1)
+	ex, ez := s.Sample()
+	if !ex.IsZero() || !ez.IsZero() {
+		t.Fatal("p=0 produced errors")
+	}
+}

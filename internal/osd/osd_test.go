@@ -1,0 +1,171 @@
+package osd
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/gf2"
+	"bpsf/internal/sparse"
+)
+
+// neutralLLR returns a flat reliability vector (no BP information).
+func neutralLLR(n int) []float64 {
+	llr := make([]float64, n)
+	for i := range llr {
+		llr[i] = 1.0
+	}
+	return llr
+}
+
+func TestOSD0SolvesSyndrome(t *testing.T) {
+	r := rand.New(rand.NewSource(70))
+	c, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(c.HZ, Config{Method: OSD0})
+	for trial := 0; trial < 20; trial++ {
+		e := gf2.NewVec(c.N)
+		for k := 0; k < 1+r.Intn(5); k++ {
+			e.Set(r.Intn(c.N), true)
+		}
+		s := c.SyndromeOfX(e)
+		res := d.Decode(s, neutralLLR(c.N))
+		if !res.OK {
+			t.Fatal("consistent syndrome reported unsolvable")
+		}
+		if !c.SyndromeOfX(res.ErrHat).Equal(s) {
+			t.Fatal("OSD-0 solution does not satisfy syndrome")
+		}
+		if res.Patterns != 1 {
+			t.Fatalf("OSD-0 tried %d patterns", res.Patterns)
+		}
+	}
+}
+
+func TestOSDReliabilityGuides(t *testing.T) {
+	// with oracle LLRs (true error bits marked unreliable), OSD-0 must
+	// recover exactly the injected error
+	r := rand.New(rand.NewSource(71))
+	c, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(c.HZ, Config{Method: OSD0})
+	for trial := 0; trial < 20; trial++ {
+		e := gf2.NewVec(c.N)
+		for k := 0; k < 3; k++ {
+			e.Set(r.Intn(c.N), true)
+		}
+		llr := make([]float64, c.N)
+		for i := range llr {
+			if e.Get(i) {
+				llr[i] = -5 // certain error
+			} else {
+				llr[i] = +5
+			}
+		}
+		res := d.Decode(c.SyndromeOfX(e), llr)
+		if !res.OK || !res.ErrHat.Equal(e) {
+			t.Fatalf("oracle OSD-0 failed to recover the error (trial %d)", trial)
+		}
+	}
+}
+
+func TestOSDCSNeverWorseThanOSD0(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	c, err := codes.BB144()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := New(c.HZ, Config{Method: OSD0})
+	dcs := New(c.HZ, Config{Method: OSDCS, Order: 10})
+	for trial := 0; trial < 10; trial++ {
+		e := gf2.NewVec(c.N)
+		for k := 0; k < 4; k++ {
+			e.Set(r.Intn(c.N), true)
+		}
+		// mildly-informative noisy LLRs
+		llr := make([]float64, c.N)
+		for i := range llr {
+			llr[i] = r.Float64()*4 - 1
+		}
+		s := c.SyndromeOfX(e)
+		r0 := d0.Decode(s, llr)
+		rcs := dcs.Decode(s, llr)
+		if !r0.OK || !rcs.OK {
+			t.Fatal("decode failed")
+		}
+		if !c.SyndromeOfX(rcs.ErrHat).Equal(s) {
+			t.Fatal("OSD-CS solution does not satisfy syndrome")
+		}
+		if rcs.Weight > r0.Weight {
+			t.Fatalf("OSD-CS weight %d worse than OSD-0 weight %d", rcs.Weight, r0.Weight)
+		}
+		if rcs.Patterns <= 1 {
+			t.Fatal("OSD-CS swept no patterns")
+		}
+	}
+}
+
+func TestOSDEExhaustiveSmall(t *testing.T) {
+	// tiny code where we can brute-force the minimum-weight solution
+	h := sparse.FromRows([][]int{
+		{1, 1, 0, 0, 1},
+		{0, 1, 1, 1, 0},
+		{1, 0, 1, 0, 1},
+	})
+	d := New(h, Config{Method: OSDE, Order: 2})
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		e := gf2.NewVec(5)
+		for k := 0; k < 1+r.Intn(2); k++ {
+			e.Set(r.Intn(5), true)
+		}
+		s := h.MulVec(e)
+		res := d.Decode(s, neutralLLR(5))
+		if !res.OK {
+			t.Fatal("unsolvable")
+		}
+		if !h.MulVec(res.ErrHat).Equal(s) {
+			t.Fatal("syndrome not satisfied")
+		}
+	}
+}
+
+func TestOSDInconsistentSyndrome(t *testing.T) {
+	// rank-deficient H: duplicate rows; make a syndrome outside the column
+	// space
+	h := sparse.FromRows([][]int{
+		{1, 1, 0},
+		{1, 1, 0},
+	})
+	d := New(h, Config{Method: OSDCS, Order: 2})
+	s := gf2.VecFromInts([]int{1, 0}) // rows identical, bits differ ⇒ impossible
+	if res := d.Decode(s, neutralLLR(3)); res.OK {
+		t.Fatal("inconsistent syndrome reported solvable")
+	}
+	// consistent syndrome still fine
+	if res := d.Decode(gf2.VecFromInts([]int{1, 1}), neutralLLR(3)); !res.OK {
+		t.Fatal("consistent syndrome rejected")
+	}
+}
+
+func TestOSDZeroSyndrome(t *testing.T) {
+	c, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(c.HZ, Config{Method: OSDCS, Order: 4})
+	res := d.Decode(gf2.NewVec(c.HZ.Rows()), neutralLLR(c.N))
+	if !res.OK || res.Weight != 0 {
+		t.Fatalf("zero syndrome should give weight-0 solution, got weight %d", res.Weight)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if OSD0.String() != "OSD-0" || OSDE.String() != "OSD-E" || OSDCS.String() != "OSD-CS" || Method(9).String() != "OSD-?" {
+		t.Fatal("Method.String wrong")
+	}
+}

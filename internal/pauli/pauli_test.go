@@ -1,0 +1,220 @@
+package pauli
+
+import (
+	"testing"
+
+	"bpsf/internal/circuit"
+)
+
+func propagate(t *testing.T, c *circuit.Circuit, afterOp int, q int, b Bits) []int {
+	t.Helper()
+	p := New(c)
+	out := p.Propagate(afterOp, []int{q}, []Bits{b})
+	cp := make([]int, len(out))
+	copy(cp, out)
+	return cp
+}
+
+func TestXFlipsZMeasurement(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	m := c.M(0)
+	got := propagate(t, c, 0, 0, X) // X injected after the reset
+	if len(got) != 1 || got[0] != m {
+		t.Fatalf("flips = %v, want [%d]", got, m)
+	}
+}
+
+func TestZDoesNotFlipZMeasurement(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	c.M(0)
+	if got := propagate(t, c, 0, 0, Z); len(got) != 0 {
+		t.Fatalf("Z flipped a Z measurement: %v", got)
+	}
+}
+
+func TestYFlipsZMeasurement(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	m := c.M(0)
+	got := propagate(t, c, 0, 0, Y)
+	if len(got) != 1 || got[0] != m {
+		t.Fatalf("flips = %v, want [%d]", got, m)
+	}
+}
+
+func TestHSwapsXZ(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	c.H(0)
+	m := c.M(0)
+	// Z before H becomes X after H → flips
+	got := propagate(t, c, 0, 0, Z)
+	if len(got) != 1 || got[0] != m {
+		t.Fatalf("Z+H should flip: %v", got)
+	}
+	// X before H becomes Z → no flip
+	if got := propagate(t, c, 0, 0, X); len(got) != 0 {
+		t.Fatalf("X+H should not flip: %v", got)
+	}
+}
+
+func TestCXSpreadsXToTarget(t *testing.T) {
+	c := circuit.New(2)
+	c.R(0).R(1)
+	c.CX(0, 1)
+	m0 := c.M(0)
+	m1 := c.M(1)
+	got := propagate(t, c, 1, 0, X) // X on control after resets
+	if len(got) != 2 || got[0] != m0 || got[1] != m1 {
+		t.Fatalf("flips = %v, want [%d %d]", got, m0, m1)
+	}
+	// X on target stays on target
+	got = propagate(t, c, 1, 1, X)
+	if len(got) != 1 || got[0] != m1 {
+		t.Fatalf("flips = %v, want [%d]", got, m1)
+	}
+}
+
+func TestCXSpreadsZToControl(t *testing.T) {
+	// measure Z-spread via Hadamards: Z on target spreads to control,
+	// then H converts control's Z to X which flips its measurement
+	c := circuit.New(2)
+	c.R(0).R(1)
+	c.CX(0, 1)
+	c.H(0)
+	m0 := c.M(0)
+	c.M(1)
+	got := propagate(t, c, 1, 1, Z) // Z on target before CX
+	if len(got) != 1 || got[0] != m0 {
+		t.Fatalf("flips = %v, want [%d]", got, m0)
+	}
+}
+
+func TestResetClearsFrame(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	c.R(0) // second reset right after the injection point
+	c.M(0)
+	if got := propagate(t, c, 0, 0, X); len(got) != 0 {
+		t.Fatalf("reset should clear the frame: %v", got)
+	}
+}
+
+func TestMRRecordsAndClears(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	m0 := c.MR(0)
+	m1 := c.M(0)
+	got := propagate(t, c, 0, 0, X)
+	if len(got) != 1 || got[0] != m0 {
+		t.Fatalf("MR should record once then clear: %v (m0=%d m1=%d)", got, m0, m1)
+	}
+}
+
+func TestMKeepsXComponent(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	m0 := c.M(0)
+	m1 := c.M(0)
+	got := propagate(t, c, 0, 0, X)
+	if len(got) != 2 || got[0] != m0 || got[1] != m1 {
+		t.Fatalf("X should flip both measurements: %v", got)
+	}
+}
+
+func TestMDestroysZComponent(t *testing.T) {
+	// Y = XZ: after M, the Z part must be gone, so a later H+M sees nothing
+	c := circuit.New(1)
+	c.R(0)
+	m0 := c.M(0)
+	c.H(0)
+	m1 := c.M(0)
+	got := propagate(t, c, 0, 0, Y)
+	// Y flips m0; collapse leaves X; H turns X into Z; m1 unaffected
+	if len(got) != 1 || got[0] != m0 {
+		t.Fatalf("flips = %v, want [%d] only (m1=%d)", got, m0, m1)
+	}
+}
+
+func TestHookErrorPropagation(t *testing.T) {
+	// ancilla-based Z-check: X on the ancilla mid-extraction propagates
+	// nowhere (ancilla is CX target); Z on ancilla propagates to remaining
+	// data CX controls... here: verify X on ancilla flips only the MR
+	c := circuit.New(3) // data 0,1; ancilla 2
+	c.R(0).R(1).R(2)
+	c.CX(0, 2)
+	c.CX(1, 2)
+	mAnc := c.MR(2)
+	c.M(0)
+	c.M(1)
+	got := propagate(t, c, 3, 2, X) // X on ancilla after first CX
+	if len(got) != 1 || got[0] != mAnc {
+		t.Fatalf("flips = %v, want [%d]", got, mAnc)
+	}
+	// X on data 0 before its CX flips the ancilla measurement and the
+	// data measurement
+	got = propagate(t, c, 2, 0, X)
+	if len(got) != 2 {
+		t.Fatalf("flips = %v, want ancilla + data", got)
+	}
+}
+
+func TestXCheckAncillaHook(t *testing.T) {
+	// X-check extraction: R, H, CX(anc→d0), CX(anc→d1), H, MR.
+	// An X on the ancilla between the CXs spreads to d1 only (hook error).
+	c := circuit.New(3) // d0=0, d1=1, anc=2
+	c.R(0).R(1).R(2)
+	c.H(2)
+	c.CX(2, 0)
+	c.CX(2, 1)
+	c.H(2)
+	mAnc := c.MR(2)
+	m0 := c.M(0)
+	m1 := c.M(1)
+	got := propagate(t, c, 4, 2, X) // X on anc after CX(2,0)
+	// X on anc spreads to d1 via CX(2,1); H turns anc X→Z; MR unaffected.
+	if len(got) != 1 || got[0] != m1 {
+		t.Fatalf("hook flips = %v, want [%d] (mAnc=%d m0=%d)", got, m1, mAnc, m0)
+	}
+}
+
+func TestFrameCancellation(t *testing.T) {
+	// two X's on the same qubit cancel
+	c := circuit.New(1)
+	c.R(0)
+	c.M(0)
+	p := New(c)
+	got := p.Propagate(0, []int{0, 0}, []Bits{X, X})
+	if len(got) != 0 {
+		t.Fatalf("cancelled frame should flip nothing: %v", got)
+	}
+}
+
+func TestPropagatorReuse(t *testing.T) {
+	c := circuit.New(2)
+	c.R(0).R(1)
+	m0 := c.M(0)
+	m1 := c.M(1)
+	p := New(c)
+	a := p.Propagate(1, []int{0}, []Bits{X})
+	if len(a) != 1 || a[0] != m0 {
+		t.Fatalf("first propagation wrong: %v", a)
+	}
+	b := p.Propagate(1, []int{1}, []Bits{X})
+	if len(b) != 1 || b[0] != m1 {
+		t.Fatalf("second propagation (reuse) wrong: %v", b)
+	}
+}
+
+func TestInjectBeforeFirstOpRespectsReset(t *testing.T) {
+	// injection at -1 happens before the reset, which clears it
+	c := circuit.New(1)
+	c.R(0)
+	c.M(0)
+	p := New(c)
+	if got := p.Propagate(-1, []int{0}, []Bits{X}); len(got) != 0 {
+		t.Fatalf("reset should clear pre-circuit injection: %v", got)
+	}
+}

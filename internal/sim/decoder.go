@@ -1,0 +1,158 @@
+// Package sim is the evaluation harness: Monte-Carlo logical-error-rate
+// experiments under the code-capacity and circuit-level noise models,
+// latency-distribution collection, the P-worker schedule model, and the GPU
+// latency estimator — everything needed to regenerate the paper's tables
+// and figures (see DESIGN.md §2 for the experiment index).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/bposd"
+	"bpsf/internal/bpsf"
+	"bpsf/internal/gf2"
+	"bpsf/internal/osd"
+	"bpsf/internal/sparse"
+	"bpsf/internal/tanner"
+)
+
+// Outcome is the unified per-shot decoder report consumed by the harness.
+type Outcome struct {
+	// Success is true when the decoder produced a syndrome-satisfying
+	// estimate.
+	Success bool
+	// ErrHat is the estimated error pattern.
+	ErrHat gf2.Vec
+	// Iterations is the serial-accounting BP iteration count (initial +
+	// cumulative trials for BP-SF; BP iterations for BP and BP-OSD).
+	Iterations int
+	// ParallelIterations is the iteration-unit latency under full
+	// parallelism (equals Iterations for decoders without parallel
+	// post-processing).
+	ParallelIterations int
+	// PostUsed reports whether post-processing (OSD or syndrome-flip
+	// trials) ran.
+	PostUsed bool
+	// Time is the total wall-clock decode duration, PostTime the
+	// post-processing share.
+	Time, PostTime time.Duration
+	// TrialIterations/TrialSuccess are BP-SF per-trial records (nil for
+	// other decoders).
+	TrialIterations []int
+	TrialSuccess    []bool
+	// InitIterations is the initial-stage iteration count.
+	InitIterations int
+}
+
+// Decoder is the harness-facing decoder abstraction.
+type Decoder interface {
+	// Name returns a short label for reports ("BP1000-OSD10", "BP-SF", ...).
+	Name() string
+	// Decode decodes one syndrome.
+	Decode(s gf2.Vec) Outcome
+}
+
+// ---- plain BP ----
+
+type bpAdapter struct {
+	name string
+	d    *bp.Decoder
+}
+
+// NewBP wraps a plain min-sum BP decoder.
+func NewBP(h *sparse.Mat, priors []float64, cfg bp.Config) Decoder {
+	return &bpAdapter{
+		name: fmt.Sprintf("BP%d", cfg.MaxIter),
+		d:    bp.New(tanner.New(h), priors, cfg),
+	}
+}
+
+func (a *bpAdapter) Name() string { return a.name }
+
+func (a *bpAdapter) Decode(s gf2.Vec) Outcome {
+	t0 := time.Now()
+	r := a.d.Decode(s)
+	return Outcome{
+		Success:            r.Success,
+		ErrHat:             r.ErrHat,
+		Iterations:         r.Iterations,
+		ParallelIterations: r.Iterations,
+		InitIterations:     r.Iterations,
+		Time:               time.Since(t0),
+	}
+}
+
+// ---- BP-OSD ----
+
+type bposdAdapter struct {
+	name string
+	d    *bposd.Decoder
+}
+
+// NewBPOSD wraps the BP-OSD baseline ("BP1000-OSD10" style).
+func NewBPOSD(h *sparse.Mat, priors []float64, bpCfg bp.Config, osdCfg osd.Config) Decoder {
+	return &bposdAdapter{
+		name: fmt.Sprintf("BP%d-%s%d", bpCfg.MaxIter, osdCfg.Method, osdCfg.Order),
+		d:    bposd.New(h, priors, bpCfg, osdCfg),
+	}
+}
+
+func (a *bposdAdapter) Name() string { return a.name }
+
+func (a *bposdAdapter) Decode(s gf2.Vec) Outcome {
+	r := a.d.Decode(s)
+	return Outcome{
+		Success:            r.Success,
+		ErrHat:             r.ErrHat,
+		Iterations:         r.BPIterations,
+		ParallelIterations: r.BPIterations,
+		InitIterations:     r.BPIterations,
+		PostUsed:           r.OSDUsed,
+		Time:               r.BPTime + r.OSDTime,
+		PostTime:           r.OSDTime,
+	}
+}
+
+// ---- BP-SF ----
+
+type bpsfAdapter struct {
+	name string
+	d    *bpsf.Decoder
+}
+
+// NewBPSF wraps the paper's BP-SF decoder.
+func NewBPSF(h *sparse.Mat, priors []float64, cfg bpsf.Config) (Decoder, error) {
+	d, err := bpsf.New(h, priors, cfg)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("BP-SF(BP%d,wmax=%d,phi=%d", cfg.Init.MaxIter, cfg.WMax, cfg.PhiSize)
+	if cfg.Policy == bpsf.Sampled {
+		name += fmt.Sprintf(",ns=%d", cfg.NS)
+	}
+	if cfg.Workers > 1 {
+		name += fmt.Sprintf(",P=%d", cfg.Workers)
+	}
+	name += ")"
+	return &bpsfAdapter{name: name, d: d}, nil
+}
+
+func (a *bpsfAdapter) Name() string { return a.name }
+
+func (a *bpsfAdapter) Decode(s gf2.Vec) Outcome {
+	r := a.d.Decode(s)
+	return Outcome{
+		Success:            r.Success,
+		ErrHat:             r.ErrHat,
+		Iterations:         r.TotalIterations,
+		ParallelIterations: r.FullParallelIterations,
+		InitIterations:     r.InitIterations,
+		PostUsed:           r.UsedPostProcessing,
+		Time:               r.InitTime + r.PostTime,
+		PostTime:           r.PostTime,
+		TrialIterations:    r.TrialIterations,
+		TrialSuccess:       r.TrialSuccess,
+	}
+}

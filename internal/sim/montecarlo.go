@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"time"
+
+	"bpsf/internal/code"
+	"bpsf/internal/dem"
+	"bpsf/internal/gf2"
+	"bpsf/internal/noise"
+	"bpsf/internal/sparse"
+)
+
+// Factory builds a Decoder for a given parity-check matrix and per-bit
+// priors. The harness calls it once per decoding side (code capacity) or
+// once per DEM (circuit level).
+type Factory func(h *sparse.Mat, priors []float64) (Decoder, error)
+
+// Config controls one Monte-Carlo run.
+type Config struct {
+	// P is the physical error rate.
+	P float64
+	// Shots is the number of samples.
+	Shots int
+	// Seed seeds the noise sampler.
+	Seed int64
+	// MaxLogicalErrors stops early once this many failures are collected
+	// (0 = run all shots). The paper collects ≥100 logical errors per
+	// point.
+	MaxLogicalErrors int
+	// KeepRecords retains per-shot records for latency analysis.
+	KeepRecords bool
+}
+
+// Record is one shot's decoder telemetry (estimates dropped to save
+// memory).
+type Record struct {
+	Failed             bool
+	PostUsed           bool
+	Iterations         int
+	ParallelIterations int
+	InitIterations     int
+	Time, PostTime     time.Duration
+	TrialIterations    []int
+	TrialSuccess       []bool
+}
+
+// Result summarizes a Monte-Carlo run.
+type Result struct {
+	Decoder   string
+	P         float64
+	Shots     int
+	Failures  int
+	LER       float64
+	LERLow    float64 // 95% Wilson bounds
+	LERHigh   float64
+	Rounds    int     // 0 for code capacity
+	LERRound  float64 // per-round rate (circuit level)
+	PostUsed  int
+	AvgIters  float64
+	AvgTime   time.Duration
+	Records   []Record
+	iterSamps []int
+}
+
+func (r *Result) finalize(rounds int) {
+	r.LER = float64(r.Failures) / float64(r.Shots)
+	r.LERLow, r.LERHigh = WilsonInterval(r.Failures, r.Shots)
+	r.Rounds = rounds
+	if rounds > 0 {
+		r.LERRound = LERPerRound(r.LER, rounds)
+	}
+}
+
+func (r *Result) record(o Outcome, failed bool, keep bool) {
+	if failed {
+		r.Failures++
+	}
+	if o.PostUsed {
+		r.PostUsed++
+	}
+	r.AvgIters += float64(o.Iterations)
+	r.AvgTime += o.Time
+	r.iterSamps = append(r.iterSamps, o.Iterations)
+	if keep {
+		r.Records = append(r.Records, Record{
+			Failed:             failed,
+			PostUsed:           o.PostUsed,
+			Iterations:         o.Iterations,
+			ParallelIterations: o.ParallelIterations,
+			InitIterations:     o.InitIterations,
+			Time:               o.Time,
+			PostTime:           o.PostTime,
+			TrialIterations:    o.TrialIterations,
+			TrialSuccess:       o.TrialSuccess,
+		})
+	}
+}
+
+func (r *Result) finishAverages() {
+	if r.Shots > 0 {
+		r.AvgIters /= float64(r.Shots)
+		r.AvgTime /= time.Duration(r.Shots)
+	}
+}
+
+// IterationStats summarizes the serial-accounting iteration counts of the
+// run.
+func (r *Result) IterationStats() IntStats { return SummarizeInts(r.iterSamps) }
+
+// RunCapacity evaluates a decoder family on css under the code-capacity
+// depolarizing model. X and Z errors are decoded independently (HZ and HX
+// sides); a shot fails if either side fails or leaves a logical residual.
+func RunCapacity(css *code.CSS, mk Factory, cfg Config) (*Result, error) {
+	q := noise.MarginalProb(cfg.P)
+	decX, err := mk(css.HZ, noise.UniformPriors(css.N, q))
+	if err != nil {
+		return nil, err
+	}
+	decZ, err := mk(css.HX, noise.UniformPriors(css.N, q))
+	if err != nil {
+		return nil, err
+	}
+	sampler := noise.NewCapacitySampler(css.N, cfg.P, cfg.Seed)
+	res := &Result{Decoder: decX.Name(), P: cfg.P}
+	resid := gf2.NewVec(css.N)
+	for shot := 0; shot < cfg.Shots; shot++ {
+		ex, ez := sampler.Sample()
+		outX := decX.Decode(css.SyndromeOfX(ex))
+		failed := !outX.Success
+		if !failed {
+			resid.CopyFrom(ex)
+			resid.Xor(outX.ErrHat)
+			failed = css.IsLogicalX(resid)
+		}
+		outZ := decZ.Decode(css.SyndromeOfZ(ez))
+		if !failed {
+			if !outZ.Success {
+				failed = true
+			} else {
+				resid.CopyFrom(ez)
+				resid.Xor(outZ.ErrHat)
+				failed = css.IsLogicalZ(resid)
+			}
+		}
+		// telemetry: record the X-side decode (one syndrome, matching the
+		// paper's per-syndrome accounting) but fold in the Z-side failure
+		res.Shots++
+		res.record(outX, failed, cfg.KeepRecords)
+		if cfg.MaxLogicalErrors > 0 && res.Failures >= cfg.MaxLogicalErrors {
+			break
+		}
+	}
+	res.finishAverages()
+	res.finalize(0)
+	return res, nil
+}
+
+// RunCircuit evaluates a decoder on a detector error model: shots are
+// sampled from the DEM at rate p, the decoder sees the detector syndrome,
+// and a shot fails when the decoder's estimate predicts the wrong logical
+// observable flips (or fails to satisfy the syndrome). rounds is used for
+// the per-round rate.
+func RunCircuit(d *dem.DEM, rounds int, mk Factory, cfg Config) (*Result, error) {
+	sampler := dem.NewSampler(d, cfg.P, cfg.Seed)
+	dec, err := mk(d.H, sampler.Priors())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Decoder: dec.Name(), P: cfg.P}
+	for shot := 0; shot < cfg.Shots; shot++ {
+		sh := sampler.Sample()
+		out := dec.Decode(sh.Syndrome)
+		failed := !out.Success
+		if !failed {
+			failed = !d.ObsOf(out.ErrHat).Equal(sh.ObsFlips)
+		}
+		res.Shots++
+		res.record(out, failed, cfg.KeepRecords)
+		if cfg.MaxLogicalErrors > 0 && res.Failures >= cfg.MaxLogicalErrors {
+			break
+		}
+	}
+	res.finishAverages()
+	res.finalize(rounds)
+	return res, nil
+}

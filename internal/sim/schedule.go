@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// ScheduleLatency models the BP-SF post-processing latency, in BP-iteration
+// units, on a machine with `workers` parallel workers (the paper's
+// multi-process CPU pool): trials are dispatched in order to the earliest
+// free worker; the first successful trial's completion time ends the
+// decode (remaining work is cancelled and does not add latency). When no
+// trial succeeds, the result is the makespan of all trials.
+//
+// initIters (the initial serial BP stage) is added to the returned latency.
+// With workers ≥ len(trialIters) this reduces to the paper's fully-parallel
+// bound: init + the winning trial's own iteration count.
+func ScheduleLatency(initIters int, trialIters []int, trialSuccess []bool, workers int) int {
+	if len(trialIters) == 0 {
+		return initIters
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(trialIters) {
+		workers = len(trialIters)
+	}
+	free := make(intHeap, workers) // worker availability times, all 0
+	heap.Init(&free)
+	best := -1
+	makespan := 0
+	for k, iters := range trialIters {
+		start := free[0]
+		if best >= 0 && start >= best {
+			// a success already completed before this trial could start;
+			// it is cancelled
+			continue
+		}
+		done := start + iters
+		heap.Pop(&free)
+		heap.Push(&free, done)
+		if done > makespan {
+			makespan = done
+		}
+		if k < len(trialSuccess) && trialSuccess[k] {
+			if best < 0 || done < best {
+				best = done
+			}
+		}
+	}
+	if best >= 0 {
+		return initIters + best
+	}
+	return initIters + makespan
+}
+
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// GPUModel estimates GPU decode latency the way the paper's "GPU_Est"
+// does: the initial BP runs on the device, then trial syndromes are
+// decoded one-by-one (the CUDA-Q decode_batch limitation), each paying a
+// kernel-launch/IO overhead plus per-iteration time. Defaults follow the
+// paper's §VI constants: ≈20 ns per BP iteration (the FPGA/ASIC iteration
+// latency it cites) and ≈0.1 ms launch overhead (its observed wrapper
+// minimum).
+type GPUModel struct {
+	// Launch is the fixed overhead per decoder invocation.
+	Launch time.Duration
+	// Iter is the latency of one BP iteration on the device.
+	Iter time.Duration
+}
+
+// DefaultGPUModel returns the paper-calibrated constants.
+func DefaultGPUModel() GPUModel {
+	return GPUModel{Launch: 100 * time.Microsecond, Iter: 20 * time.Nanosecond}
+}
+
+// Estimate converts one decode's iteration records into a modeled GPU
+// latency. Serial trial decoding stops at the first success (trials after
+// the winner are never launched).
+func (m GPUModel) Estimate(o Outcome) time.Duration {
+	t := m.Launch + time.Duration(o.InitIterations)*m.Iter
+	for k, iters := range o.TrialIterations {
+		t += m.Launch + time.Duration(iters)*m.Iter
+		if k < len(o.TrialSuccess) && o.TrialSuccess[k] {
+			break
+		}
+	}
+	return t
+}
+
+// EstimateBatched models the improvement the paper proposes (a batched GPU
+// call returning at the first success): one launch for the whole trial
+// batch, latency bounded by the winning trial (or the slowest when all
+// fail).
+func (m GPUModel) EstimateBatched(o Outcome) time.Duration {
+	t := m.Launch + time.Duration(o.InitIterations)*m.Iter
+	if len(o.TrialIterations) == 0 {
+		return t
+	}
+	iters := ScheduleLatency(0, o.TrialIterations, o.TrialSuccess, len(o.TrialIterations))
+	return t + m.Launch + time.Duration(iters)*m.Iter
+}

@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/bpsf"
+	"bpsf/internal/codes"
+	"bpsf/internal/dem"
+	"bpsf/internal/memexp"
+	"bpsf/internal/osd"
+	"bpsf/internal/sparse"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 100)
+	if lo != 0 || hi < 0.01 || hi > 0.1 {
+		t.Fatalf("Wilson(0,100) = [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 100)
+	if lo > 0.5 || hi < 0.5 {
+		t.Fatalf("Wilson(50,100) = [%v,%v] must bracket 0.5", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatal("Wilson with n=0 should be [0,1]")
+	}
+}
+
+func TestLERPerRound(t *testing.T) {
+	// 1-(1-x)^d = ler  ⇔ per-round x
+	got := LERPerRound(0.19, 2) // 1-(1-x)^2 = 0.19 → x = 0.1
+	if got < 0.0999 || got > 0.1001 {
+		t.Fatalf("LERPerRound = %v, want 0.1", got)
+	}
+	if LERPerRound(0.5, 0) != 0.5 {
+		t.Fatal("rounds=0 should pass through")
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	ds := []time.Duration{5, 1, 3, 2, 4}
+	st := SummarizeDurations(ds)
+	if st.Min != 1 || st.Max != 5 || st.Median != 3 || st.Avg != 3 {
+		t.Fatalf("duration stats wrong: %+v", st)
+	}
+	is := SummarizeInts([]int{10, 30, 20})
+	if is.Min != 10 || is.Max != 30 || is.Median != 20 || is.Avg != 20 {
+		t.Fatalf("int stats wrong: %+v", is)
+	}
+	if SummarizeInts(nil).N != 0 || SummarizeDurations(nil).N != 0 {
+		t.Fatal("empty summaries should be zero")
+	}
+}
+
+func TestTailCurve(t *testing.T) {
+	// 10 shots: 8 converge at iterations {1,2,3,4,5,6,7,8}, 2 never
+	iters := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	curve := TailCurve(iters, 2, 10, []int{0, 4, 8, 100})
+	want := []float64{1.0, 0.6, 0.2, 0.2}
+	for i := range want {
+		if diff := curve[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestScheduleLatencySerialEquivalence(t *testing.T) {
+	iters := []int{10, 20, 30, 40}
+	succ := []bool{false, false, true, false}
+	// one worker = serial until first success: 10+20+30
+	if got := ScheduleLatency(5, iters, succ, 1); got != 65 {
+		t.Fatalf("serial latency = %d, want 65", got)
+	}
+	// unlimited workers: winner runs immediately: 5+30
+	if got := ScheduleLatency(5, iters, succ, 100); got != 35 {
+		t.Fatalf("parallel latency = %d, want 35", got)
+	}
+	// two workers: t=0 start {10,20}; t=10 start 30 → done 40; winner at 40
+	if got := ScheduleLatency(0, iters, succ, 2); got != 40 {
+		t.Fatalf("two-worker latency = %d, want 40", got)
+	}
+}
+
+func TestScheduleLatencyNoSuccessIsMakespan(t *testing.T) {
+	iters := []int{10, 20, 30}
+	succ := []bool{false, false, false}
+	// 2 workers: start {10,20}; t=10 start 30 → makespan 40
+	if got := ScheduleLatency(0, iters, succ, 2); got != 40 {
+		t.Fatalf("makespan = %d, want 40", got)
+	}
+	if got := ScheduleLatency(7, nil, nil, 4); got != 7 {
+		t.Fatal("no trials should return init only")
+	}
+}
+
+func TestScheduleLatencyCancelsLateTrials(t *testing.T) {
+	// winner completes at 10; third trial would start at 10 and must be
+	// cancelled, leaving latency 10 even though it would take 1000
+	iters := []int{10, 15, 1000}
+	succ := []bool{true, false, false}
+	if got := ScheduleLatency(0, iters, succ, 2); got != 10 {
+		t.Fatalf("latency = %d, want 10", got)
+	}
+}
+
+func TestGPUModelEstimate(t *testing.T) {
+	m := GPUModel{Launch: time.Millisecond, Iter: time.Microsecond}
+	o := Outcome{
+		InitIterations:  100,
+		TrialIterations: []int{50, 60, 70},
+		TrialSuccess:    []bool{false, true, false},
+	}
+	// init: 1ms+100µs; trials: (1ms+50µs) + (1ms+60µs), stop at success
+	want := time.Millisecond + 100*time.Microsecond +
+		time.Millisecond + 50*time.Microsecond +
+		time.Millisecond + 60*time.Microsecond
+	if got := m.Estimate(o); got != want {
+		t.Fatalf("estimate = %v, want %v", got, want)
+	}
+	// batched: one extra launch + winner's iterations
+	wantB := time.Millisecond + 100*time.Microsecond + time.Millisecond + 60*time.Microsecond
+	if got := m.EstimateBatched(o); got != wantB {
+		t.Fatalf("batched = %v, want %v", got, wantB)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var s Series
+	s.Label = "test"
+	s.AddWithBounds(1, 0.5, 0.4, 0.6)
+	s.AddWithBounds(2, 0.25, 0.2, 0.3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "label,x,y,ylow,yhigh") || !strings.Contains(out, "test,1,0.5,0.4,0.6") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestSortSeriesByX(t *testing.T) {
+	s := Series{X: []float64{3, 1, 2}, Y: []float64{30, 10, 20}}
+	SortSeriesByX(&s)
+	if s.X[0] != 1 || s.Y[0] != 10 || s.X[2] != 3 || s.Y[2] != 30 {
+		t.Fatalf("sorted: %+v", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("decoder", "ler")
+	tb.Row("BP1000", 0.001234)
+	tb.Row("BP-SF", 2.5e-6)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "decoder") || !strings.Contains(out, "BP-SF") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+// --- integration: capacity model, three decoder families ---
+
+func TestRunCapacityIntegration(t *testing.T) {
+	css, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{P: 0.01, Shots: 60, Seed: 11}
+
+	bpMk := func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return NewBP(h, priors, bp.Config{MaxIter: 60}), nil
+	}
+	res, err := RunCapacity(css, bpMk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 60 || res.LER > 0.5 {
+		t.Fatalf("BP capacity result implausible: %+v", res)
+	}
+
+	osdMk := func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return NewBPOSD(h, priors, bp.Config{MaxIter: 60}, osd.Config{Method: osd.OSDCS, Order: 4}), nil
+	}
+	resOSD, err := RunCapacity(css, osdMk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOSD.Failures > res.Failures {
+		t.Fatalf("BP-OSD (%d) worse than plain BP (%d) at same seed", resOSD.Failures, res.Failures)
+	}
+
+	sfMk := func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return NewBPSF(h, priors, bpsf.Config{
+			Init:    bp.Config{MaxIter: 60},
+			PhiSize: 4, WMax: 1, Policy: bpsf.Exhaustive,
+		})
+	}
+	resSF, err := RunCapacity(css, sfMk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSF.Failures > res.Failures {
+		t.Fatalf("BP-SF (%d) worse than plain BP (%d) at same seed", resSF.Failures, res.Failures)
+	}
+}
+
+func TestRunCapacityEarlyStop(t *testing.T) {
+	css, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return NewBP(h, priors, bp.Config{MaxIter: 3}), nil
+	}
+	res, err := RunCapacity(css, mk, Config{P: 0.15, Shots: 10000, Seed: 3, MaxLogicalErrors: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures < 5 || res.Shots >= 10000 {
+		t.Fatalf("early stop failed: %d failures in %d shots", res.Failures, res.Shots)
+	}
+}
+
+// --- integration: circuit-level model over the full substrate ---
+
+func TestRunCircuitIntegration(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := memexp.Build(css, 3, memexp.Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dem.Extract(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return NewBPSF(h, priors, bpsf.Config{
+			Init:    bp.Config{MaxIter: 40},
+			Trial:   bp.Config{MaxIter: 40},
+			PhiSize: 10, WMax: 2, NS: 3, Policy: bpsf.Sampled,
+		})
+	}
+	res, err := RunCircuit(d, 3, mk, Config{P: 0.004, Shots: 150, Seed: 21, KeepRecords: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 150 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+	if res.LER > 0.4 {
+		t.Fatalf("surface-3 LER %v implausibly high at p=0.004", res.LER)
+	}
+	if res.LERRound <= 0 && res.Failures > 0 {
+		t.Fatal("per-round LER missing")
+	}
+	if len(res.Records) != res.Shots {
+		t.Fatal("records not kept")
+	}
+	if res.LERLow > res.LER || res.LERHigh < res.LER {
+		t.Fatal("Wilson bounds do not bracket the LER")
+	}
+}
+
+func TestRunCircuitDeterministicSeed(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := memexp.Build(css, 2, memexp.Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dem.Extract(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return NewBP(h, priors, bp.Config{MaxIter: 30}), nil
+	}
+	a, err := RunCircuit(d, 2, mk, Config{P: 0.01, Shots: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCircuit(d, 2, mk, Config{P: 0.01, Shots: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Failures != b.Failures || a.AvgIters != b.AvgIters {
+		t.Fatal("same seed produced different results")
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// WilsonInterval returns the 95% Wilson score interval for k successes in n
+// trials. It is well-behaved at k=0 and k=n, unlike the normal
+// approximation.
+func WilsonInterval(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	phat := float64(k) / float64(n)
+	denom := 1 + z*z/float64(n)
+	center := phat + z*z/(2*float64(n))
+	half := z * math.Sqrt(phat*(1-phat)/float64(n)+z*z/(4*float64(n)*float64(n)))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	// snap the exact edges (floating-point residue otherwise leaves lo>0
+	// at k=0, which would fail to bracket the point estimate)
+	if k == 0 {
+		lo = 0
+	}
+	if k == n {
+		hi = 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// LERPerRound converts a block logical error rate over d rounds into a
+// per-round rate (paper Eq. 11).
+func LERPerRound(ler float64, rounds int) float64 {
+	if rounds <= 0 || ler >= 1 {
+		return ler
+	}
+	return 1 - math.Pow(1-ler, 1/float64(rounds))
+}
+
+// DurationStats summarizes a sample of decode times.
+type DurationStats struct {
+	N                     int
+	Min, Median, Max, Avg time.Duration
+	P90, P99              time.Duration
+}
+
+// SummarizeDurations computes order statistics of ds (ds is sorted in
+// place).
+func SummarizeDurations(ds []time.Duration) DurationStats {
+	if len(ds) == 0 {
+		return DurationStats{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(ds)-1))
+		return ds[i]
+	}
+	return DurationStats{
+		N:      len(ds),
+		Min:    ds[0],
+		Median: pick(0.5),
+		Max:    ds[len(ds)-1],
+		Avg:    total / time.Duration(len(ds)),
+		P90:    pick(0.9),
+		P99:    pick(0.99),
+	}
+}
+
+// IntStats summarizes an integer sample (iteration counts).
+type IntStats struct {
+	N                int
+	Min, Median, Max int
+	Avg              float64
+	P90, P99         int
+}
+
+// SummarizeInts computes order statistics of xs (sorted in place).
+func SummarizeInts(xs []int) IntStats {
+	if len(xs) == 0 {
+		return IntStats{}
+	}
+	sort.Ints(xs)
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	pick := func(q float64) int { return xs[int(q*float64(len(xs)-1))] }
+	return IntStats{
+		N:      len(xs),
+		Min:    xs[0],
+		Median: pick(0.5),
+		Max:    xs[len(xs)-1],
+		Avg:    float64(total) / float64(len(xs)),
+		P90:    pick(0.9),
+		P99:    pick(0.99),
+	}
+}
+
+// TailCurve computes the paper's Fig 2 series: for each iteration budget i
+// in points, the fraction of samples whose iteration count exceeds i
+// (1 − cumulative convergence rate). iterCounts holds the per-shot
+// iteration counts of *converged* shots; failures (counted separately in
+// failed) never converge and contribute to every point.
+func TailCurve(iterCounts []int, failed, shots int, points []int) []float64 {
+	sorted := append([]int(nil), iterCounts...)
+	sort.Ints(sorted)
+	out := make([]float64, len(points))
+	for k, budget := range points {
+		// converged within budget
+		conv := sort.SearchInts(sorted, budget+1)
+		out[k] = 1 - float64(conv)/float64(shots)
+		_ = failed
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package tableau
+
+import (
+	"testing"
+
+	"bpsf/internal/circuit"
+	"bpsf/internal/codes"
+	"bpsf/internal/memexp"
+	"bpsf/internal/pauli"
+)
+
+// detectorParities evaluates each detector's XOR over a measurement record.
+func detectorParities(c *circuit.Circuit, meas []bool) []bool {
+	out := make([]bool, len(c.Detectors))
+	for d, ms := range c.Detectors {
+		for _, m := range ms {
+			if meas[m] {
+				out[d] = !out[d]
+			}
+		}
+	}
+	return out
+}
+
+func observableParities(c *circuit.Circuit, meas []bool) []bool {
+	out := make([]bool, len(c.Observables))
+	for o, ms := range c.Observables {
+		for _, m := range ms {
+			if meas[m] {
+				out[o] = !out[o]
+			}
+		}
+	}
+	return out
+}
+
+// TestFaultPropagationMatchesTableau is the deepest consistency check in
+// the repository: for individual injected faults, the sparse Pauli-frame
+// propagator (which powers DEM extraction) and the full stabilizer tableau
+// simulation must predict exactly the same set of flipped detectors and
+// observables. Detector parities in a faulted noiseless run are
+// deterministic, so no seed alignment is needed.
+func TestFaultPropagationMatchesTableau(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := memexp.Build(css, 2, memexp.Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := pauli.New(circ)
+
+	refObs := make([]bool, len(circ.Observables)) // |0…0⟩ ⇒ all logical Z = 0
+
+	checked := 0
+	for opIdx, op := range circ.Ops {
+		if !op.Type.IsNoise() {
+			continue
+		}
+		// subsample noise positions to keep the test fast, but cover all
+		// channel types
+		if checked > 0 && opIdx%7 != 0 {
+			continue
+		}
+		var cases [][2]interface{}
+		switch op.Type {
+		case circuit.OpNoiseX:
+			cases = append(cases, [2]interface{}{[]int{op.Q0}, []pauli.Bits{pauli.X}})
+		case circuit.OpNoiseZ:
+			cases = append(cases, [2]interface{}{[]int{op.Q0}, []pauli.Bits{pauli.Z}})
+		case circuit.OpNoiseDep1:
+			for _, pb := range []pauli.Bits{pauli.X, pauli.Y, pauli.Z} {
+				cases = append(cases, [2]interface{}{[]int{op.Q0}, []pauli.Bits{pb}})
+			}
+		case circuit.OpNoiseDep2:
+			// two representative correlated Paulis
+			cases = append(cases,
+				[2]interface{}{[]int{op.Q0, op.Q1}, []pauli.Bits{pauli.X, pauli.Z}},
+				[2]interface{}{[]int{op.Q0, op.Q1}, []pauli.Bits{pauli.Y, pauli.X}})
+		}
+		for _, tc := range cases {
+			qubits := tc[0].([]int)
+			ps := tc[1].([]pauli.Bits)
+
+			// prediction from the frame propagator
+			flips := prop.Propagate(opIdx, qubits, ps)
+			predDet := make([]bool, len(circ.Detectors))
+			predObs := make([]bool, len(circ.Observables))
+			measToUse := map[int]bool{}
+			for _, m := range flips {
+				measToUse[m] = !measToUse[m]
+			}
+			for d, ms := range circ.Detectors {
+				for _, m := range ms {
+					if measToUse[m] {
+						predDet[d] = !predDet[d]
+					}
+				}
+			}
+			for o, ms := range circ.Observables {
+				for _, m := range ms {
+					if measToUse[m] {
+						predObs[o] = !predObs[o]
+					}
+				}
+			}
+
+			// ground truth from the tableau simulator
+			fp := make([]FaultPauli, len(ps))
+			for i, pb := range ps {
+				fp[i] = FaultPauli(pb)
+			}
+			run, err := RunWithFault(circ, 12345, opIdx, qubits, fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotDet := detectorParities(circ, run.Meas)
+			gotObs := observableParities(circ, run.Meas)
+			for d := range gotDet {
+				if gotDet[d] != predDet[d] {
+					t.Fatalf("op %d (%v) pauli %v: detector %d tableau=%v propagator=%v",
+						opIdx, op.Type, ps, d, gotDet[d], predDet[d])
+				}
+			}
+			for o := range gotObs {
+				if (gotObs[o] != refObs[o]) != predObs[o] {
+					t.Fatalf("op %d (%v) pauli %v: observable %d tableau=%v propagator=%v",
+						opIdx, op.Type, ps, o, gotObs[o], predObs[o])
+				}
+			}
+			checked++
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d fault cases checked; sampling too sparse", checked)
+	}
+}

@@ -1,0 +1,214 @@
+package tableau
+
+import (
+	"testing"
+
+	"bpsf/internal/circuit"
+	"bpsf/internal/codes"
+	"bpsf/internal/memexp"
+)
+
+func TestMeasureGroundState(t *testing.T) {
+	s := New(3, 1)
+	for q := 0; q < 3; q++ {
+		out, det := s.MeasureZ(q)
+		if out || !det {
+			t.Fatalf("qubit %d: |0⟩ measured %v (det=%v)", q, out, det)
+		}
+	}
+}
+
+func TestXFlipsOutcome(t *testing.T) {
+	s := New(1, 1)
+	s.X(0)
+	out, det := s.MeasureZ(0)
+	if !out || !det {
+		t.Fatalf("X|0⟩ measured %v (det=%v)", out, det)
+	}
+}
+
+func TestZPhaseInvisibleInZBasis(t *testing.T) {
+	s := New(1, 1)
+	s.Z(0)
+	out, det := s.MeasureZ(0)
+	if out || !det {
+		t.Fatal("Z|0⟩ must measure 0 deterministically")
+	}
+}
+
+func TestHadamardRandomThenCollapsed(t *testing.T) {
+	saw := map[bool]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		s := New(1, seed)
+		s.H(0)
+		out, det := s.MeasureZ(0)
+		if det {
+			t.Fatal("H|0⟩ measurement must be random")
+		}
+		saw[out] = true
+		// repeated measurement must be deterministic and equal
+		out2, det2 := s.MeasureZ(0)
+		if !det2 || out2 != out {
+			t.Fatal("collapse broken")
+		}
+	}
+	if !saw[false] || !saw[true] {
+		t.Fatal("both outcomes should occur over 20 seeds")
+	}
+}
+
+func TestDoubleHadamardIdentity(t *testing.T) {
+	s := New(1, 1)
+	s.H(0)
+	s.H(0)
+	out, det := s.MeasureZ(0)
+	if out || !det {
+		t.Fatal("HH|0⟩ must be |0⟩")
+	}
+}
+
+func TestBellPairCorrelation(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := New(2, seed)
+		s.H(0)
+		s.CX(0, 1)
+		o1, det1 := s.MeasureZ(0)
+		o2, det2 := s.MeasureZ(1)
+		if det1 {
+			t.Fatal("first Bell measurement must be random")
+		}
+		if !det2 {
+			t.Fatal("second Bell measurement must be deterministic")
+		}
+		if o1 != o2 {
+			t.Fatal("Bell pair outcomes must agree")
+		}
+	}
+}
+
+func TestResetFromSuperposition(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := New(1, seed)
+		s.H(0)
+		s.Reset(0)
+		out, det := s.MeasureZ(0)
+		if out || !det {
+			t.Fatal("reset must restore |0⟩")
+		}
+	}
+}
+
+func TestAncillaParityMeasurement(t *testing.T) {
+	// Z₀Z₁ parity of X|00⟩ = |10⟩ measured via CX(0,anc), CX(1,anc):
+	// outcome 1 deterministically (after ancilla reset)
+	s := New(3, 1)
+	s.X(0)
+	s.CX(0, 2)
+	s.CX(1, 2)
+	out, _ := s.MeasureZ(2)
+	if !out {
+		t.Fatal("parity of |10⟩ must be 1")
+	}
+}
+
+func TestRunCircuitRecords(t *testing.T) {
+	c := circuit.New(2)
+	c.R(0).R(1)
+	c.H(0)
+	c.CX(0, 1)
+	m0 := c.M(0)
+	m1 := c.M(1)
+	res, err := Run(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meas[m0] != res.Meas[m1] {
+		t.Fatal("Bell outcomes differ")
+	}
+	if res.Deterministic[m0] || !res.Deterministic[m1] {
+		t.Fatal("determinism flags wrong")
+	}
+}
+
+func TestRunSkipsNoise(t *testing.T) {
+	c := circuit.New(1)
+	c.R(0)
+	c.NoiseX(1, 0) // must be ignored by the noiseless reference run
+	m := c.M(0)
+	res, err := Run(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meas[m] {
+		t.Fatal("noise op affected the noiseless run")
+	}
+}
+
+// The central verification: every memory experiment's detectors must be
+// deterministic in the noiseless circuit — including the SHYPS subsystem
+// code, where individual gauge outcomes are random and only the declared
+// XOR combinations are deterministic.
+func TestMemoryExperimentDetectorsDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		rounds int
+	}{
+		{"bb72", 2},
+		{"coprime126", 2},
+	} {
+		css, err := codes.Get(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circ, err := memexp.Build(css, tc.rounds, memexp.Noiseless())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckDetectors(circ, 3); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestSurfaceMemoryDetectorsDeterministic(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := memexp.Build(css, 3, memexp.Noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDetectors(circ, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSHYPSGaugeDetectorsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SHYPS tableau verification skipped in -short")
+	}
+	css, err := codes.SHYPS225()
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := memexp.Build(css, 2, memexp.Noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDetectors(circ, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDetectorsCatchesBadDetector(t *testing.T) {
+	// declare a detector on a genuinely random measurement: must fail
+	c := circuit.New(1)
+	c.R(0)
+	c.H(0)
+	m := c.M(0)
+	c.Detector(m)
+	if err := CheckDetectors(c, 8); err == nil {
+		t.Fatal("random detector not caught")
+	}
+}
