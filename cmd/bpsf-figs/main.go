@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,6 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "sampler seed (0 = default)")
 	full := flag.Bool("full", false, "paper-scale rounds and error-rate grids (slow)")
 	outDir := flag.String("out", "data", "CSV output directory")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"parallelism across grid cells and Monte-Carlo shards (results are identical for any value)")
 	flag.Parse()
 
 	if *list {
@@ -51,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := experiments.Opts{Shots: *shots, Seed: *seed, Full: *full, Out: os.Stdout}
+	opts := experiments.Opts{Shots: *shots, Seed: *seed, Full: *full, Out: os.Stdout, Workers: *workers}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		t0 := time.Now()

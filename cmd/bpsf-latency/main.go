@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bpsf-latency -code bb144 -p 0.003 -shots 500 -rounds 6 -workers 2,4,8
+//	bpsf-latency -code bb144 -p 0.003 -shots 500 -rounds 6 -model-workers 2,4,8
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -37,7 +38,9 @@ func main() {
 	rounds := flag.Int("rounds", 0, "extraction rounds (0 = code default)")
 	bpIters := flag.Int("bp-iters", 100, "BP-SF iteration cap")
 	osdIters := flag.Int("osd-bp-iters", 1000, "BP-OSD BP iteration cap")
-	workersFlag := flag.String("workers", "2,4,8", "modeled worker pool sizes")
+	modelWorkersFlag := flag.String("model-workers", "2,4,8", "modeled worker pool sizes")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"Monte-Carlo shard workers (per-shot times are noisier when shards share cores)")
 	flag.Parse()
 
 	entry, ok := codes.Catalog()[*codeName]
@@ -62,16 +65,16 @@ func main() {
 	}
 	fmt.Printf("%s, %d rounds, %d mechanisms, p=%g, %d shots\n", css.Name, r, d.NumMechs(), *p, *shots)
 
-	var workers []int
-	for _, tok := range strings.Split(*workersFlag, ",") {
+	var modelWorkers []int
+	for _, tok := range strings.Split(*modelWorkersFlag, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil || w < 1 {
-			log.Fatalf("bad -workers entry %q", tok)
+			log.Fatalf("bad -model-workers entry %q", tok)
 		}
-		workers = append(workers, w)
+		modelWorkers = append(modelWorkers, w)
 	}
 
-	cfg := sim.Config{P: *p, Shots: *shots, Seed: *seed, KeepRecords: true}
+	cfg := sim.Config{P: *p, Shots: *shots, Seed: *seed, KeepRecords: true, Workers: *workers}
 
 	osdMk := func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
 		return sim.NewBPOSD(h, priors, bp.Config{MaxIter: *osdIters},
@@ -128,7 +131,7 @@ func main() {
 	}
 	row(osdRes.Decoder, osdRes.LERRound, times(osdRes.Records))
 	row(sfRes.Decoder+" serial", sfRes.LERRound, times(sfRes.Records))
-	for _, w := range workers {
+	for _, w := range modelWorkers {
 		modeled := make([]time.Duration, len(sfRes.Records))
 		for i, rec := range sfRes.Records {
 			iters := sim.ScheduleLatency(rec.InitIterations, rec.TrialIterations, rec.TrialSuccess, w)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"bpsf/internal/bp"
 	"bpsf/internal/bpsf"
@@ -45,7 +46,9 @@ func main() {
 	phi := flag.Int("phi", 50, "BP-SF candidate set size |Φ|")
 	wmax := flag.Int("wmax", 10, "BP-SF maximum trial weight")
 	ns := flag.Int("ns", 10, "BP-SF sampled trials per weight (0 = exhaustive)")
-	workers := flag.Int("workers", 0, "BP-SF parallel trial workers")
+	trialWorkers := flag.Int("trial-workers", 0, "BP-SF parallel trial workers (within one decode)")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"Monte-Carlo shard workers (results are identical for any value)")
 	flag.Parse()
 
 	entry, ok := codes.Catalog()[*codeName]
@@ -77,7 +80,7 @@ func main() {
 				WMax:    *wmax,
 				NS:      *ns,
 				Policy:  bpsf.Sampled,
-				Workers: *workers,
+				Workers: *trialWorkers,
 				Seed:    *seed,
 			}
 			if *ns == 0 {
@@ -89,7 +92,7 @@ func main() {
 		}
 	}
 
-	cfg := sim.Config{P: *p, Shots: *shots, Seed: *seed, MaxLogicalErrors: *maxErrs}
+	cfg := sim.Config{P: *p, Shots: *shots, Seed: *seed, MaxLogicalErrors: *maxErrs, Workers: *workers}
 	var res *sim.Result
 	switch *model {
 	case "capacity":

@@ -1,0 +1,3 @@
+module bpsf
+
+go 1.24

@@ -67,20 +67,23 @@ type Config struct {
 }
 
 // Result reports the outcome of one decode.
+//
+// ErrHat, FlipCount and Marginal alias reusable decoder buffers so that
+// steady-state decoding performs zero per-shot allocations; they stay valid
+// until the next Decode on the same Decoder. Clone/copy them if retained
+// longer.
 type Result struct {
 	// Success is true when the hard decision satisfied the syndrome within
 	// MaxIter iterations.
 	Success bool
 	// Iterations is the number of iterations executed.
 	Iterations int
-	// ErrHat is the estimated error pattern (hard decision at exit). It is
-	// a copy owned by the caller.
+	// ErrHat is the estimated error pattern (hard decision at exit).
 	ErrHat gf2.Vec
 	// FlipCount[i] is the number of iterations in which bit i's hard
 	// decision changed; nil unless Config.TrackOscillation.
 	FlipCount []int
-	// Marginal[i] is the final posterior LLR of bit i (aliases decoder
-	// state; copy if retained across decodes).
+	// Marginal[i] is the final posterior LLR of bit i.
 	Marginal []float64
 }
 
@@ -97,6 +100,8 @@ type Decoder struct {
 	hard     gf2.Vec
 	prevHard gf2.Vec
 	flip     []int
+	errOut   gf2.Vec // reusable Result.ErrHat buffer
+	flipOut  []int   // reusable Result.FlipCount buffer
 
 	// sum-product per-check scratch (lazily allocated)
 	spIn, spOut []float64
@@ -118,10 +123,13 @@ func New(g *tanner.Graph, probs []float64, cfg Config) *Decoder {
 		prior:    make([]float32, g.N),
 		c2v:      make([]float32, g.E),
 		marginal: make([]float32, g.N),
+		delta:    make([]float32, g.N),
 		margOut:  make([]float64, g.N),
 		hard:     gf2.NewVec(g.N),
 		prevHard: gf2.NewVec(g.N),
 		flip:     make([]int, g.N),
+		errOut:   gf2.NewVec(g.N),
+		flipOut:  make([]int, g.N),
 	}
 	d.SetPriors(probs)
 	return d
@@ -172,10 +180,13 @@ func (d *Decoder) Clone() *Decoder {
 		prior:    make([]float32, d.g.N),
 		c2v:      make([]float32, d.g.E),
 		marginal: make([]float32, d.g.N),
+		delta:    make([]float32, d.g.N),
 		margOut:  make([]float64, d.g.N),
 		hard:     gf2.NewVec(d.g.N),
 		prevHard: gf2.NewVec(d.g.N),
 		flip:     make([]int, d.g.N),
+		errOut:   gf2.NewVec(d.g.N),
+		flipOut:  make([]int, d.g.N),
 	}
 	copy(nd.prior, d.prior)
 	return nd
@@ -225,16 +236,16 @@ func (d *Decoder) DecodeStop(s gf2.Vec, stop *atomic.Bool) Result {
 	for i, m := range d.marginal {
 		d.margOut[i] = float64(m)
 	}
+	d.errOut.CopyFrom(d.hard)
 	res := Result{
 		Success:    success,
 		Iterations: iters,
-		ErrHat:     d.hard.Clone(),
+		ErrHat:     d.errOut,
 		Marginal:   d.margOut,
 	}
 	if d.cfg.TrackOscillation {
-		fc := make([]int, len(d.flip))
-		copy(fc, d.flip)
-		res.FlipCount = fc
+		copy(d.flipOut, d.flip)
+		res.FlipCount = d.flipOut
 	}
 	return res
 }
@@ -278,9 +289,6 @@ func (d *Decoder) floodIteration(s gf2.Vec, alpha float32) bool {
 	// preserve flooding semantics we must not let this check's update feed
 	// the next check within the same iteration, so deltas are applied to a
 	// separate accumulator.
-	if d.delta == nil || len(d.delta) != g.N {
-		d.delta = make([]float32, g.N)
-	}
 	delta := d.delta
 	for v := range delta {
 		delta[v] = 0

@@ -24,6 +24,7 @@ func BenchmarkIterationBB144Capacity(b *testing.B) {
 	s := gf2.NewVec(g.M)
 	s.Set(3, true)
 	s.Set(17, true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Decode(s) // exactly 1 iteration (will not converge)
@@ -46,8 +47,46 @@ func BenchmarkDecodeBB144Hard(b *testing.B) {
 	// weight-1 syndrome: inconsistent-looking target that BP cannot satisfy
 	s := gf2.NewVec(g.M)
 	s.Set(3, true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Decode(s)
+	}
+}
+
+// TestDecodeZeroAllocSteadyState pins the allocation-free hot path: after
+// warm-up, a BP decode must not allocate — for either schedule, with and
+// without oscillation tracking, and on both converging and failing
+// syndromes.
+func TestDecodeZeroAllocSteadyState(t *testing.T) {
+	c, err := codes.BB144()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tanner.New(c.HZ)
+	probs := make([]float64, c.N)
+	for i := range probs {
+		probs[i] = 0.01
+	}
+	converging := c.SyndromeOfX(gf2.VecFromSupport(c.N, []int{3}))
+	failing := gf2.NewVec(g.M)
+	failing.Set(3, true)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		s    gf2.Vec
+	}{
+		{"flooding-converges", Config{MaxIter: 100}, converging},
+		{"flooding-fails", Config{MaxIter: 30}, failing},
+		{"layered", Config{MaxIter: 30, Schedule: Layered}, failing},
+		{"oscillation", Config{MaxIter: 30, TrackOscillation: true}, failing},
+		{"sum-product", Config{MaxIter: 10, Variant: SumProduct}, failing},
+	} {
+		d := New(g, probs, tc.cfg)
+		d.Decode(tc.s) // warm-up (lazy sum-product scratch)
+		allocs := testing.AllocsPerRun(20, func() { d.Decode(tc.s) })
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per steady-state decode, want 0", tc.name, allocs)
+		}
 	}
 }

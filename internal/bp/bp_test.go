@@ -113,10 +113,14 @@ func TestDecodeReusableAcrossCalls(t *testing.T) {
 	e := gf2.VecFromSupport(c.N, []int{3})
 	s := c.SyndromeOfX(e)
 	first := d.Decode(s)
+	// Result.ErrHat aliases the decoder's reusable buffer: clone before the
+	// next decode overwrites it
+	firstErr := first.ErrHat.Clone()
+	firstIters := first.Iterations
 	// garbage decode in between
 	d.Decode(c.SyndromeOfX(gf2.VecFromSupport(c.N, []int{1, 5, 9})))
 	second := d.Decode(s)
-	if !first.ErrHat.Equal(second.ErrHat) || first.Iterations != second.Iterations {
+	if !firstErr.Equal(second.ErrHat) || firstIters != second.Iterations {
 		t.Fatal("decoder state leaks between calls")
 	}
 }

@@ -23,6 +23,27 @@ import (
 // count is zero (BP failed without oscillating), the least reliable bits by
 // |marginal| are chosen instead so that post-processing still has targets.
 func SelectCandidates(flipCount []int, marginal []float64, phi int) []int {
+	var sel candidateSelector
+	out := sel.selectInto(flipCount, marginal, phi)
+	if out == nil {
+		return nil
+	}
+	return append([]int(nil), out...)
+}
+
+// candidateSelector is the reusable-scratch implementation behind
+// SelectCandidates: a Decoder owns one so that candidate selection in the
+// decode hot path is allocation-free after warm-up.
+type candidateSelector struct {
+	idx  []int // full index permutation, stably sorted
+	out  []int // Φ output buffer (aliases Result.Candidates)
+	flip []int
+	marg []float64
+}
+
+// selectInto returns the Φ set in a buffer reused across calls (valid until
+// the next call). The ordering rules match SelectCandidates exactly.
+func (c *candidateSelector) selectInto(flipCount []int, marginal []float64, phi int) []int {
 	n := len(flipCount)
 	if phi > n {
 		phi = n
@@ -30,10 +51,16 @@ func SelectCandidates(flipCount []int, marginal []float64, phi int) []int {
 	if phi <= 0 {
 		return nil
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if cap(c.idx) < n {
+		c.idx = make([]int, n)
+		c.out = make([]int, 0, n)
 	}
+	c.idx = c.idx[:n]
+	for i := range c.idx {
+		c.idx[i] = i
+	}
+	c.flip = flipCount
+	c.marg = marginal
 	allZero := true
 	for _, f := range flipCount {
 		if f != 0 {
@@ -41,21 +68,28 @@ func SelectCandidates(flipCount []int, marginal []float64, phi int) []int {
 			break
 		}
 	}
-	absm := func(i int) float64 { return math.Abs(marginal[i]) }
 	if allZero {
-		sort.SliceStable(idx, func(a, b int) bool { return absm(idx[a]) < absm(idx[b]) })
-	} else {
-		sort.SliceStable(idx, func(a, b int) bool {
-			fa, fb := flipCount[idx[a]], flipCount[idx[b]]
-			if fa != fb {
-				return fa > fb
-			}
-			return absm(idx[a]) < absm(idx[b])
-		})
+		c.flip = nil // sort by |marginal| only
 	}
-	out := make([]int, phi)
-	copy(out, idx[:phi])
-	return out
+	sort.Stable(c)
+	c.flip, c.marg = nil, nil
+	c.out = append(c.out[:0], c.idx[:phi]...)
+	return c.out
+}
+
+// sort.Interface over idx: primary key descending flip count (when
+// present), secondary ascending |marginal|; sort.Stable preserves the
+// smaller-index tie-break.
+func (c *candidateSelector) Len() int      { return len(c.idx) }
+func (c *candidateSelector) Swap(a, b int) { c.idx[a], c.idx[b] = c.idx[b], c.idx[a] }
+func (c *candidateSelector) Less(a, b int) bool {
+	ia, ib := c.idx[a], c.idx[b]
+	if c.flip != nil {
+		if fa, fb := c.flip[ia], c.flip[ib]; fa != fb {
+			return fa > fb
+		}
+	}
+	return math.Abs(c.marg[ia]) < math.Abs(c.marg[ib])
 }
 
 // PrecisionRecall computes the paper's Fig 3 metrics: the fraction of

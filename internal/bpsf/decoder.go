@@ -45,6 +45,11 @@ type Config struct {
 }
 
 // Result reports a BP-SF decode.
+//
+// ErrHat, Candidates, TrialIterations and TrialSuccess alias reusable
+// decoder buffers so that steady-state decoding performs zero per-shot
+// allocations; they stay valid until the next Decode on the same Decoder.
+// Clone/copy them if retained longer.
 type Result struct {
 	// Success is true when either the initial BP or a trial converged.
 	Success bool
@@ -95,6 +100,13 @@ type Decoder struct {
 	trial   *bp.Decoder
 	workers []*bp.Decoder
 	rng     *rand.Rand
+
+	// per-decode scratch, reused so steady-state decoding is allocation-free
+	phiSel     candidateSelector
+	trialGen   trialGenerator
+	spBuf      gf2.Vec // trial-syndrome buffer (serial engine)
+	trialIters []int   // Result.TrialIterations backing
+	trialSucc  []bool  // Result.TrialSuccess backing
 }
 
 // New builds a BP-SF decoder for parity-check matrix h with per-bit error
@@ -124,6 +136,7 @@ func New(h *sparse.Mat, probs []float64, cfg Config) (*Decoder, error) {
 		init:  bp.New(g, probs, initCfg),
 		trial: bp.New(g, probs, trialCfg),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		spBuf: gf2.NewVec(g.M),
 	}
 	if cfg.Workers > 1 {
 		d.workers = make([]*bp.Decoder, cfg.Workers)
@@ -136,6 +149,12 @@ func New(h *sparse.Mat, probs []float64, cfg Config) (*Decoder, error) {
 
 // Config returns the decoder configuration.
 func (d *Decoder) Config() Config { return d.cfg }
+
+// Reseed re-seeds the trial-sampling RNG. The sharded Monte-Carlo engine
+// calls it so each shard draws an independent trial stream.
+func (d *Decoder) Reseed(seed int64) {
+	d.rng = rand.New(rand.NewSource(seed))
+}
 
 // Decode runs Algorithm 1 on syndrome s.
 func (d *Decoder) Decode(s gf2.Vec) Result {
@@ -154,8 +173,8 @@ func (d *Decoder) Decode(s gf2.Vec) Result {
 		}
 	}
 
-	phi := SelectCandidates(initRes.FlipCount, initRes.Marginal, d.cfg.PhiSize)
-	trials, err := GenerateTrials(phi, d.cfg.Policy, d.cfg.WMax, d.cfg.NS, d.rng)
+	phi := d.phiSel.selectInto(initRes.FlipCount, initRes.Marginal, d.cfg.PhiSize)
+	trials, err := d.trialGen.generate(phi, d.cfg.Policy, d.cfg.WMax, d.cfg.NS, d.rng)
 	if err != nil {
 		// unusable configuration for this code size; report failure with
 		// the initial BP estimate
@@ -193,11 +212,10 @@ func (d *Decoder) Decode(s gf2.Vec) Result {
 	return res
 }
 
-// trialSyndrome computes s' = s ⊕ tHᵀ into a fresh vector.
-func (d *Decoder) trialSyndrome(s gf2.Vec, t []int) gf2.Vec {
-	sp := s.Clone()
-	d.h.MulSupportInto(sp, t)
-	return sp
+// trialSyndromeInto computes s' = s ⊕ tHᵀ into dst.
+func (d *Decoder) trialSyndromeInto(dst, s gf2.Vec, t []int) {
+	dst.CopyFrom(s)
+	d.h.MulSupportInto(dst, t)
 }
 
 // flipBack applies ê ⊕= t.
@@ -211,11 +229,13 @@ func (d *Decoder) decodeSerial(s gf2.Vec, trials [][]int) Result {
 	res := Result{WinningTrial: -1}
 	trialCap := d.trial.Config().MaxIter
 	maxIters := 0
+	d.trialIters = d.trialIters[:0]
+	d.trialSucc = d.trialSucc[:0]
 	for k, t := range trials {
-		sp := d.trialSyndrome(s, t)
-		tr := d.trial.Decode(sp)
-		res.TrialIterations = append(res.TrialIterations, tr.Iterations)
-		res.TrialSuccess = append(res.TrialSuccess, tr.Success)
+		d.trialSyndromeInto(d.spBuf, s, t)
+		tr := d.trial.Decode(d.spBuf)
+		d.trialIters = append(d.trialIters, tr.Iterations)
+		d.trialSucc = append(d.trialSucc, tr.Success)
 		if tr.Iterations > maxIters {
 			maxIters = tr.Iterations
 		}
@@ -223,15 +243,22 @@ func (d *Decoder) decodeSerial(s gf2.Vec, trials [][]int) Result {
 			res.TotalIterations += tr.Iterations
 		}
 		if tr.Success && res.WinningTrial < 0 {
-			errHat := tr.ErrHat
-			flipBack(errHat, t)
 			res.Success = true
-			res.ErrHat = errHat
 			res.WinningTrial = k
 			res.FullParallelIterations = tr.Iterations
 			if !d.cfg.DecodeAllTrials {
+				// tr.ErrHat aliases the trial decoder's reusable buffer; no
+				// further trial decodes run, so the alias stays valid
+				flipBack(tr.ErrHat, t)
+				res.ErrHat = tr.ErrHat
+				res.TrialIterations = d.trialIters
+				res.TrialSuccess = d.trialSucc
 				return res
 			}
+			// later trials overwrite the buffer: keep a copy
+			errHat := tr.ErrHat.Clone()
+			flipBack(errHat, t)
+			res.ErrHat = errHat
 		}
 	}
 	if res.WinningTrial < 0 {
@@ -245,6 +272,8 @@ func (d *Decoder) decodeSerial(s gf2.Vec, trials [][]int) Result {
 			res.FullParallelIterations = trialCap
 		}
 	}
+	res.TrialIterations = d.trialIters
+	res.TrialSuccess = d.trialSucc
 	return res
 }
 
@@ -264,23 +293,25 @@ func (d *Decoder) decodeParallel(s gf2.Vec, trials [][]int) Result {
 	var wg sync.WaitGroup
 	for w := 0; w < len(d.workers); w++ {
 		wg.Add(1)
-		go func(dec *bp.Decoder) {
+		go func(dec *bp.Decoder, sp gf2.Vec) {
 			defer wg.Done()
 			for idx := range next {
 				if stop.Load() {
 					outcomes <- trialOutcome{trialIdx: idx, iters: 0}
 					continue
 				}
-				sp := d.trialSyndrome(s, trials[idx])
+				d.trialSyndromeInto(sp, s, trials[idx])
 				tr := dec.DecodeStop(sp, &stop)
 				out := trialOutcome{trialIdx: idx, iters: tr.Iterations, success: tr.Success}
 				if tr.Success {
 					stop.Store(true)
+					// the worker decodes nothing further once stop is set,
+					// so its reusable ErrHat buffer stays valid
 					out.errHat = tr.ErrHat
 				}
 				outcomes <- out
 			}
-		}(d.workers[w])
+		}(d.workers[w], gf2.NewVec(d.g.M))
 	}
 	for idx := range trials {
 		next <- idx
@@ -289,13 +320,13 @@ func (d *Decoder) decodeParallel(s gf2.Vec, trials [][]int) Result {
 	wg.Wait()
 	close(outcomes)
 
-	completed := 0
+	d.trialIters = d.trialIters[:0]
+	d.trialSucc = d.trialSucc[:0]
 	for out := range outcomes {
 		if out.iters > 0 {
-			res.TrialIterations = append(res.TrialIterations, out.iters)
-			res.TrialSuccess = append(res.TrialSuccess, out.success)
+			d.trialIters = append(d.trialIters, out.iters)
+			d.trialSucc = append(d.trialSucc, out.success)
 			res.TotalIterations += out.iters
-			completed++
 		}
 		if out.success && res.WinningTrial < 0 {
 			flipBack(out.errHat, trials[out.trialIdx])
@@ -308,5 +339,7 @@ func (d *Decoder) decodeParallel(s gf2.Vec, trials [][]int) Result {
 	if res.WinningTrial < 0 {
 		res.FullParallelIterations = d.trial.Config().MaxIter
 	}
+	res.TrialIterations = d.trialIters
+	res.TrialSuccess = d.trialSucc
 	return res
 }

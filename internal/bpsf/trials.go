@@ -35,53 +35,85 @@ const maxExhaustiveTrials = 200000
 // GenerateTrials produces the trial vectors (as candidate-index subsets of
 // phi) for one failed decode. rng is only used by the Sampled policy.
 func GenerateTrials(phi []int, policy TrialPolicy, wMax, ns int, rng *rand.Rand) ([][]int, error) {
+	var gen trialGenerator
+	return gen.generate(phi, policy, wMax, ns, rng)
+}
+
+// trialGenerator is the reusable-scratch implementation behind
+// GenerateTrials: all trial supports live in one arena slice and the
+// returned [][]int views are rebuilt over it each call, so trial generation
+// in the decode hot path is allocation-free after warm-up. The returned
+// slices stay valid until the next generate call.
+type trialGenerator struct {
+	arena   []int   // concatenated trial supports
+	lens    []int   // per-trial weights
+	views   [][]int // returned slice headers over arena
+	scratch []int   // Fisher–Yates scratch (Sampled policy)
+}
+
+func (g *trialGenerator) generate(phi []int, policy TrialPolicy, wMax, ns int, rng *rand.Rand) ([][]int, error) {
 	if wMax <= 0 {
 		return nil, fmt.Errorf("bpsf: wMax must be positive, got %d", wMax)
 	}
+	g.arena = g.arena[:0]
+	g.lens = g.lens[:0]
 	switch policy {
 	case Exhaustive:
-		return exhaustiveTrials(phi, wMax)
+		if err := g.appendExhaustive(phi, wMax); err != nil {
+			return nil, err
+		}
 	case Sampled:
 		if ns <= 0 {
 			return nil, fmt.Errorf("bpsf: ns must be positive for sampled trials, got %d", ns)
 		}
-		return sampledTrials(phi, wMax, ns, rng), nil
+		g.appendSampled(phi, wMax, ns, rng)
 	default:
 		return nil, fmt.Errorf("bpsf: unknown trial policy %d", policy)
 	}
+	// materialize views only after the arena stopped growing (appends may
+	// have reallocated it)
+	g.views = g.views[:0]
+	off := 0
+	for _, w := range g.lens {
+		g.views = append(g.views, g.arena[off:off+w:off+w])
+		off += w
+	}
+	return g.views, nil
 }
 
-func exhaustiveTrials(phi []int, wMax int) ([][]int, error) {
+func (g *trialGenerator) appendExhaustive(phi []int, wMax int) error {
 	if wMax > len(phi) {
 		wMax = len(phi)
 	}
-	var out [][]int
+	if wMax > cap(g.scratch) {
+		g.scratch = make([]int, wMax)
+	}
 	for w := 1; w <= wMax; w++ {
-		if err := combinations(len(phi), w, func(sel []int) error {
-			if len(out) >= maxExhaustiveTrials {
+		if err := combinations(g.scratch[:w], len(phi), func(sel []int) error {
+			if len(g.lens) >= maxExhaustiveTrials {
 				return fmt.Errorf("bpsf: exhaustive trial count exceeds %d (|Φ|=%d, wMax=%d); use Sampled",
 					maxExhaustiveTrials, len(phi), wMax)
 			}
-			t := make([]int, w)
-			for i, k := range sel {
-				t[i] = phi[k]
+			for _, k := range sel {
+				g.arena = append(g.arena, phi[k])
 			}
-			out = append(out, t)
+			g.lens = append(g.lens, w)
 			return nil
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
-// combinations invokes fn with each k-subset of {0..n-1} in lexicographic
-// order; fn's slice is reused between calls.
-func combinations(n, k int, fn func([]int) error) error {
+// combinations invokes fn with each len(sel)-subset of {0..n-1} in
+// lexicographic order, using sel as its working buffer (reused between
+// calls).
+func combinations(sel []int, n int, fn func([]int) error) error {
+	k := len(sel)
 	if k > n || k <= 0 {
 		return nil
 	}
-	sel := make([]int, k)
 	for i := range sel {
 		sel[i] = i
 	}
@@ -104,9 +136,11 @@ func combinations(n, k int, fn func([]int) error) error {
 	}
 }
 
-func sampledTrials(phi []int, wMax, ns int, rng *rand.Rand) [][]int {
-	out := make([][]int, 0, wMax*ns)
-	scratch := make([]int, len(phi))
+func (g *trialGenerator) appendSampled(phi []int, wMax, ns int, rng *rand.Rand) {
+	if len(phi) > cap(g.scratch) {
+		g.scratch = make([]int, len(phi))
+	}
+	scratch := g.scratch[:len(phi)]
 	for w := 1; w <= wMax; w++ {
 		ww := w
 		if ww > len(phi) {
@@ -122,10 +156,8 @@ func sampledTrials(phi []int, wMax, ns int, rng *rand.Rand) [][]int {
 				j := i + rng.Intn(len(scratch)-i)
 				scratch[i], scratch[j] = scratch[j], scratch[i]
 			}
-			t := make([]int, ww)
-			copy(t, scratch[:ww])
-			out = append(out, t)
+			g.arena = append(g.arena, scratch[:ww]...)
+			g.lens = append(g.lens, ww)
 		}
 	}
-	return out
 }

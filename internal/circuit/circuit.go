@@ -3,9 +3,9 @@
 // (H, CX), resets and Z-basis measurements, Pauli noise channels, and
 // detector/observable annotations over measurement records.
 //
-// It is the first half of this repository's Stim substitution (see
-// DESIGN.md §3); package dem consumes circuits to build detector error
-// models by exact fault enumeration.
+// It is the first half of this repository's Stim substitution (see the
+// package map in DESIGN.md §1); package dem consumes circuits to build
+// detector error models by exact fault enumeration.
 package circuit
 
 import "fmt"

@@ -12,6 +12,13 @@ func (c *CSS) SyndromeOfX(e gf2.Vec) gf2.Vec { return c.HZ.MulVec(e) }
 // SyndromeOfZ returns the syndrome HX·e of a Z-type error pattern e.
 func (c *CSS) SyndromeOfZ(e gf2.Vec) gf2.Vec { return c.HX.MulVec(e) }
 
+// SyndromeOfXInto computes HZ·e into dst — the allocation-free variant used
+// by the sharded Monte-Carlo engine.
+func (c *CSS) SyndromeOfXInto(dst, e gf2.Vec) { c.HZ.MulVecInto(dst, e) }
+
+// SyndromeOfZInto computes HX·e into dst.
+func (c *CSS) SyndromeOfZInto(dst, e gf2.Vec) { c.HX.MulVecInto(dst, e) }
+
 // IsLogicalX reports whether the X-type residual r (which must be
 // syndrome-free: HZ·r = 0) acts as a logical operator, i.e. anticommutes
 // with some bare Z logical. Because the logical bases are paired

@@ -44,16 +44,28 @@ func (d *DEM) NumMechs() int { return d.H.Cols() }
 // Priors returns the per-mechanism error probabilities at physical error
 // rate p: the probability that an odd number of the mechanism's merged
 // faults fire, ½(1 − Π(1−2·cᵢ·p)).
+//
+// Coefficient classes are folded in ascending-coefficient order: float
+// multiplication is not associative, so iterating the class map directly
+// would let Go's randomized map order perturb priors by an ulp between
+// calls — enough to regroup the sampler's equal-probability classes and
+// derail shot-stream determinism.
 func (d *DEM) Priors(p float64) []float64 {
 	out := make([]float64, d.NumMechs())
+	var cs []float64
 	for m, classes := range d.coeffs {
+		cs = cs[:0]
+		for c := range classes {
+			cs = append(cs, c)
+		}
+		sort.Float64s(cs)
 		prod := 1.0
-		for c, count := range classes {
+		for _, c := range cs {
 			q := c * p
 			if q > 0.5 {
 				q = 0.5
 			}
-			prod *= math.Pow(1-2*q, float64(count))
+			prod *= math.Pow(1-2*q, float64(classes[c]))
 		}
 		out[m] = (1 - prod) / 2
 	}

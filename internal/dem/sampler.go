@@ -34,6 +34,7 @@ type Sampler struct {
 
 	syndrome gf2.Vec
 	obsFlips gf2.Vec
+	mechs    []int
 }
 
 type probGroup struct {
@@ -75,7 +76,21 @@ func (s *Sampler) Priors() []float64 { return s.priors }
 // Sample draws one shot. The returned Shot's vectors are copies owned by
 // the caller.
 func (s *Sampler) Sample() Shot {
-	var mechs []int
+	syndrome, obsFlips := s.SampleShared()
+	return Shot{
+		Mechs:    append([]int(nil), s.mechs...),
+		Syndrome: syndrome.Clone(),
+		ObsFlips: obsFlips.Clone(),
+	}
+}
+
+// SampleShared draws one shot and returns the syndrome and observable-flip
+// vectors aliasing the sampler's internal buffers, valid until the next
+// Sample/SampleShared call — the allocation-free variant used by the
+// sharded Monte-Carlo engine. The fired-mechanism support of the shot stays
+// available through Mechs.
+func (s *Sampler) SampleShared() (syndrome, obsFlips gf2.Vec) {
+	mechs := s.mechs[:0]
 	s.syndrome.Zero()
 	s.obsFlips.Zero()
 	for _, g := range s.groups {
@@ -99,12 +114,13 @@ func (s *Sampler) Sample() Shot {
 		}
 	}
 	sort.Ints(mechs)
-	return Shot{
-		Mechs:    mechs,
-		Syndrome: s.syndrome.Clone(),
-		ObsFlips: s.obsFlips.Clone(),
-	}
+	s.mechs = mechs
+	return s.syndrome, s.obsFlips
 }
+
+// Mechs returns the sorted fired-mechanism support of the most recent
+// SampleShared call, aliasing an internal buffer valid until the next call.
+func (s *Sampler) Mechs() []int { return s.mechs }
 
 func (s *Sampler) fire(mechs []int, m int) []int {
 	mechs = append(mechs, m)

@@ -35,7 +35,7 @@ func AblationDamping(o Opts) (FigureResult, error) {
 		mk := func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
 			return sim.NewBP(h, priors, bp.Config{MaxIter: 100, FixedAlpha: tc.alpha}), nil
 		}
-		mc, err := sim.RunCapacity(css, mk, sim.Config{P: p, Shots: shots, Seed: o.seed()})
+		mc, err := sim.RunCapacity(css, mk, sim.Config{P: p, Shots: shots, Seed: o.seed(), Workers: o.workers()})
 		if err != nil {
 			return res, err
 		}
@@ -82,7 +82,7 @@ func AblationVariant(o Opts) (FigureResult, error) {
 					Policy:  bpsfcore.Exhaustive,
 				})
 			}
-			mc, err := sim.RunCapacity(css, mk, sim.Config{P: p, Shots: shots, Seed: o.seed()})
+			mc, err := sim.RunCapacity(css, mk, sim.Config{P: p, Shots: shots, Seed: o.seed(), Workers: o.workers()})
 			if err != nil {
 				return res, err
 			}
@@ -114,7 +114,7 @@ func AblationTrialPolicy(o Opts) (FigureResult, error) {
 	}
 	labels := []string{"exhaustive w≤2 (36 trials)", "sampled ns=18,wmax=2 (36 trials)"}
 	for i, spec := range specs {
-		mc, err := sim.RunCapacity(css, spec.Factory(o.seed()), sim.Config{P: p, Shots: shots, Seed: o.seed()})
+		mc, err := sim.RunCapacity(css, spec.Factory(o.seed()), sim.Config{P: p, Shots: shots, Seed: o.seed(), Workers: o.workers()})
 		if err != nil {
 			return res, err
 		}

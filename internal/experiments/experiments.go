@@ -5,14 +5,20 @@
 // paper reports, and returns the figure's series for CSV export.
 //
 // Every harness has two scales: the default "quick" parameters keep the
-// whole suite runnable in minutes on one core (fewer shots, reduced rounds
-// for the largest codes); Opts.Full switches to the paper-scale grids.
-// EXPERIMENTS.md records which scale produced the committed numbers.
+// whole suite runnable in minutes (fewer shots, reduced rounds for the
+// largest codes); Opts.Full switches to the paper-scale grids. DESIGN.md §2
+// indexes the experiments and records scale reductions.
+//
+// Sweeps are parallel at two levels: grid cells (decoder × error rate) run
+// concurrently, and each cell's shots run on the sharded sim engine. Both
+// levels are deterministic — results are bit-identical for any Opts.Workers
+// value.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"bpsf/internal/bp"
@@ -36,6 +42,10 @@ type Opts struct {
 	Full bool
 	// Out receives the printed tables (nil = discard).
 	Out io.Writer
+	// Workers is the total parallelism budget, shared between concurrent
+	// grid cells and the sharded Monte-Carlo engine inside each cell
+	// (0 = runtime.NumCPU()). Results are bit-identical for any value.
+	Workers int
 }
 
 func (o Opts) out() io.Writer {
@@ -59,6 +69,22 @@ func (o Opts) seed() int64 {
 	return 20260608
 }
 
+func (o Opts) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// PointStat pins one grid point's Monte-Carlo counts; golden regression
+// tests compare these across refactors and worker counts.
+type PointStat struct {
+	Decoder  string
+	P        float64
+	Shots    int
+	Failures int
+}
+
 // FigureResult is a harness's exportable output.
 type FigureResult struct {
 	// Name identifies the experiment ("fig07", "table1", ...).
@@ -66,6 +92,9 @@ type FigureResult struct {
 	// Series holds the figure's curves (x = physical error rate unless
 	// noted).
 	Series []sim.Series
+	// Rows holds the per-grid-point counts for sweeps (deterministic
+	// order: decoder-major, error-rate-minor).
+	Rows []PointStat
 	// Notes records scale reductions relative to the paper.
 	Notes string
 }
@@ -167,29 +196,36 @@ func (s Spec) Factory(seed int64) sim.Factory {
 
 // ---- DEM cache ----
 
-var demCache sync.Map // key string → *dem.DEM
+// demEntry is a singleflight cache slot: concurrent grid cells asking for
+// the same DEM share one memexp.Build + dem.Extract.
+type demEntry struct {
+	once sync.Once
+	d    *dem.DEM
+	err  error
+}
+
+var demCache sync.Map // key string → *demEntry
 
 // CachedDEM builds (or reuses) the memory-experiment DEM for a catalog
-// code at the given round count.
+// code at the given round count. Safe for concurrent use; parallel callers
+// of the same key block on a single build.
 func CachedDEM(codeName string, rounds int) (*dem.DEM, *code.CSS, error) {
 	css, err := codes.Get(codeName)
 	if err != nil {
 		return nil, nil, err
 	}
 	key := fmt.Sprintf("%s/%d", codeName, rounds)
-	if v, ok := demCache.Load(key); ok {
-		return v.(*dem.DEM), css, nil
-	}
-	circ, err := memexp.Build(css, rounds, memexp.Uniform())
-	if err != nil {
-		return nil, nil, err
-	}
-	d, err := dem.Extract(circ)
-	if err != nil {
-		return nil, nil, err
-	}
-	demCache.Store(key, d)
-	return d, css, nil
+	v, _ := demCache.LoadOrStore(key, &demEntry{})
+	e := v.(*demEntry)
+	e.once.Do(func() {
+		circ, err := memexp.Build(css, rounds, memexp.Uniform())
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.d, e.err = dem.Extract(circ)
+	})
+	return e.d, css, e.err
 }
 
 // roundsFor returns the experiment's round count: the paper's d rounds in
@@ -203,22 +239,44 @@ func roundsFor(codeName string, quick int, o Opts) int {
 
 // ---- shared sweep runners ----
 
+// sweepGrid runs the (spec × p) grid with cell-level parallelism: every
+// cell gets its own decoder and sampler (seeds depend only on the grid
+// position), so the cells are independent and their results are collected
+// into a deterministically ordered slice regardless of scheduling.
+func sweepGrid(specs []Spec, ps []float64, o Opts,
+	runCell func(spec Spec, pi int, workers int) (*sim.Result, error)) ([]*sim.Result, error) {
+	mcs := make([]*sim.Result, len(specs)*len(ps))
+	cellWorkers, simWorkers := splitWorkers(o.workers(), len(mcs))
+	err := parallelFor(len(mcs), cellWorkers, func(i int) error {
+		mc, err := runCell(specs[i/len(ps)], i%len(ps), simWorkers)
+		mcs[i] = mc
+		return err
+	})
+	return mcs, err
+}
+
 // capacitySweep runs a decoder grid over a code-capacity error-rate grid.
 func capacitySweep(name string, css *code.CSS, specs []Spec, ps []float64, shots int, o Opts) (FigureResult, error) {
 	res := FigureResult{Name: name}
+	mcs, err := sweepGrid(specs, ps, o, func(spec Spec, pi int, workers int) (*sim.Result, error) {
+		return sim.RunCapacity(css, spec.Factory(o.seed()+int64(pi)), sim.Config{
+			P: ps[pi], Shots: shots, Seed: o.seed() + int64(pi)*1000, Workers: workers,
+		})
+	})
+	if err != nil {
+		return res, err
+	}
 	tb := sim.NewTable("decoder", "p", "shots", "failures", "LER", "95% interval", "avg iters")
-	for _, spec := range specs {
+	for si, spec := range specs {
 		series := sim.Series{Label: spec.DisplayLabel()}
 		for pi, p := range ps {
-			mc, err := sim.RunCapacity(css, spec.Factory(o.seed()+int64(pi)), sim.Config{
-				P: p, Shots: shots, Seed: o.seed() + int64(pi)*1000,
-			})
-			if err != nil {
-				return res, err
-			}
+			mc := mcs[si*len(ps)+pi]
 			series.AddWithBounds(p, mc.LER, mc.LERLow, mc.LERHigh)
 			tb.Row(spec.DisplayLabel(), p, mc.Shots, mc.Failures, mc.LER,
 				fmt.Sprintf("[%.2g,%.2g]", mc.LERLow, mc.LERHigh), mc.AvgIters)
+			res.Rows = append(res.Rows, PointStat{
+				Decoder: spec.DisplayLabel(), P: p, Shots: mc.Shots, Failures: mc.Failures,
+			})
 		}
 		res.Series = append(res.Series, series)
 	}
@@ -240,21 +298,27 @@ func circuitSweep(name, codeName string, quickRounds int, specs []Spec, ps []flo
 		Name:  name,
 		Notes: fmt.Sprintf("rounds=%d (paper: %d), mechanisms=%d", rounds, codes.Catalog()[codeName].Rounds, d.NumMechs()),
 	}
+	mcs, err := sweepGrid(specs, ps, o, func(spec Spec, pi int, workers int) (*sim.Result, error) {
+		return sim.RunCircuit(d, rounds, spec.Factory(o.seed()+int64(pi)), sim.Config{
+			P: ps[pi], Shots: shots, Seed: o.seed() + int64(pi)*1000, Workers: workers,
+		})
+	})
+	if err != nil {
+		return res, err
+	}
 	tb := sim.NewTable("decoder", "p", "shots", "failures", "LER/round", "95% int (block)", "avg iters", "avg ms")
-	for _, spec := range specs {
+	for si, spec := range specs {
 		series := sim.Series{Label: spec.DisplayLabel()}
 		for pi, p := range ps {
-			mc, err := sim.RunCircuit(d, rounds, spec.Factory(o.seed()+int64(pi)), sim.Config{
-				P: p, Shots: shots, Seed: o.seed() + int64(pi)*1000,
-			})
-			if err != nil {
-				return res, err
-			}
+			mc := mcs[si*len(ps)+pi]
 			series.AddWithBounds(p, mc.LERRound,
 				sim.LERPerRound(mc.LERLow, rounds), sim.LERPerRound(mc.LERHigh, rounds))
 			tb.Row(spec.DisplayLabel(), p, mc.Shots, mc.Failures, mc.LERRound,
 				fmt.Sprintf("[%.2g,%.2g]", mc.LERLow, mc.LERHigh), mc.AvgIters,
 				float64(mc.AvgTime.Microseconds())/1000.0)
+			res.Rows = append(res.Rows, PointStat{
+				Decoder: spec.DisplayLabel(), P: p, Shots: mc.Shots, Failures: mc.Failures,
+			})
 		}
 		res.Series = append(res.Series, series)
 	}

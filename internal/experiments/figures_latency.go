@@ -7,6 +7,12 @@ import (
 	"bpsf/internal/sim"
 )
 
+// The latency figures (Fig. 13–16, Table I) report per-shot wall-clock
+// distributions, so their Monte-Carlo runs pin Workers: 1 — concurrent
+// shards contending for cores would inflate exactly the times being
+// measured. Fig. 12 reports iteration counts (worker-invariant) and keeps
+// the full parallelism budget.
+
 // Fig12 reproduces Figure 12: complexity growth on the J144,12,12K code at
 // p = 3×10⁻³ — average and worst-case BP iterations (serial accounting)
 // against the logical error rate per round, for plain BP at several
@@ -52,7 +58,7 @@ func Fig12(o Opts) (FigureResult, error) {
 	tb := sim.NewTable("decoder", "LER/round", "avg iters", "worst iters")
 	for _, e := range entries {
 		mc, err := sim.RunCircuit(d, rounds, e.spec.Factory(o.seed()), sim.Config{
-			P: p, Shots: shots, Seed: o.seed(),
+			P: p, Shots: shots, Seed: o.seed(), Workers: o.workers(),
 		})
 		if err != nil {
 			return FigureResult{}, err
@@ -117,7 +123,7 @@ func Fig13(o Opts) (FigureResult, error) {
 		row := []interface{}{css.Name, d.NumMechs()}
 		for i, spec := range []Spec{sfSpec, osdSpec} {
 			mc, err := sim.RunCircuit(d, rounds, spec.Factory(o.seed()+int64(ci)), sim.Config{
-				P: p, Shots: shots, Seed: o.seed() + int64(ci), KeepRecords: true,
+				P: p, Shots: shots, Seed: o.seed() + int64(ci), KeepRecords: true, Workers: 1,
 			})
 			if err != nil {
 				return FigureResult{}, err
@@ -175,7 +181,7 @@ func Table1(o Opts) (FigureResult, error) {
 	tb := sim.NewTable("decoder", "LER/round", "avg time ms", "OSD invocations")
 	for _, it := range iters {
 		mc, err := sim.RunCircuit(d, rounds, BPOSDSpec(it, 10).Factory(o.seed()), sim.Config{
-			P: p, Shots: shots, Seed: o.seed(),
+			P: p, Shots: shots, Seed: o.seed(), Workers: 1,
 		})
 		if err != nil {
 			return FigureResult{}, err
@@ -217,7 +223,7 @@ func Fig14(o Opts) (FigureResult, error) {
 		series[si] = sim.Series{Label: spec.DisplayLabel()}
 		for pi, p := range ps {
 			mc, err := sim.RunCircuit(d, rounds, spec.Factory(o.seed()+int64(pi)), sim.Config{
-				P: p, Shots: shots, Seed: o.seed() + int64(pi), KeepRecords: true,
+				P: p, Shots: shots, Seed: o.seed() + int64(pi), KeepRecords: true, Workers: 1,
 			})
 			if err != nil {
 				return FigureResult{}, err
@@ -283,7 +289,7 @@ func Fig15(o Opts) (FigureResult, error) {
 
 	// measured BP-OSD distribution
 	osdMC, err := sim.RunCircuit(d, rounds, BPOSDSpec(1000, 10).Factory(o.seed()), sim.Config{
-		P: p, Shots: shots, Seed: o.seed(), KeepRecords: true,
+		P: p, Shots: shots, Seed: o.seed(), KeepRecords: true, Workers: 1,
 	})
 	if err != nil {
 		return FigureResult{}, err
@@ -292,7 +298,7 @@ func Fig15(o Opts) (FigureResult, error) {
 	// the schedule model needs (later trials are cancelled anyway)
 	sfSpec := BPSFCircuitSpec(100, 50, 10, 10)
 	sfMC, err := sim.RunCircuit(d, rounds, sfSpec.Factory(o.seed()), sim.Config{
-		P: p, Shots: shots, Seed: o.seed(), KeepRecords: true,
+		P: p, Shots: shots, Seed: o.seed(), KeepRecords: true, Workers: 1,
 	})
 	if err != nil {
 		return FigureResult{}, err
@@ -366,13 +372,13 @@ func Fig16(o Opts) (FigureResult, error) {
 
 	sfSpec := BPSFCircuitSpec(100, 50, 10, 10)
 	sfMC, err := sim.RunCircuit(d, rounds, sfSpec.Factory(o.seed()), sim.Config{
-		P: p, Shots: shots, Seed: o.seed(), KeepRecords: true,
+		P: p, Shots: shots, Seed: o.seed(), KeepRecords: true, Workers: 1,
 	})
 	if err != nil {
 		return FigureResult{}, err
 	}
 	osdMC, err := sim.RunCircuit(d, rounds, BPOSDSpec(1000, 10).Factory(o.seed()), sim.Config{
-		P: p, Shots: shots, Seed: o.seed(), KeepRecords: true,
+		P: p, Shots: shots, Seed: o.seed(), KeepRecords: true, Workers: 1,
 	})
 	if err != nil {
 		return FigureResult{}, err

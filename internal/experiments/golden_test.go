@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+// Golden regression rows: quick-scale Failures/Shots per grid point at the
+// default seed, pinned so engine refactors provably do not change the
+// statistics. Regenerate only for a deliberate change to the sampling or
+// shard-seeding scheme (run the harness once and copy Rows).
+//
+// The same harness runs at two worker counts; the rows must match the
+// golden values AND each other — the experiments-layer face of the sharded
+// engine's determinism contract.
+
+var fig05Golden = []PointStat{
+	{"BP-SF(BP50,wmax=1,phi=8)", 0.02, 30, 0},
+	{"BP-SF(BP50,wmax=1,phi=8)", 0.04, 30, 0},
+	{"BP-SF(BP50,wmax=1,phi=8)", 0.06, 30, 0},
+	{"BP-SF(BP50,wmax=1,phi=8)", 0.1, 30, 10},
+	{"BP1000-OSD10", 0.02, 30, 0},
+	{"BP1000-OSD10", 0.04, 30, 0},
+	{"BP1000-OSD10", 0.06, 30, 0},
+	{"BP1000-OSD10", 0.1, 30, 9},
+	{"BP1000-OSD0", 0.02, 30, 0},
+	{"BP1000-OSD0", 0.04, 30, 0},
+	{"BP1000-OSD0", 0.06, 30, 0},
+	{"BP1000-OSD0", 0.1, 30, 11},
+	{"BP1000", 0.02, 30, 0},
+	{"BP1000", 0.04, 30, 0},
+	{"BP1000", 0.06, 30, 0},
+	{"BP1000", 0.1, 30, 11},
+}
+
+var fig17cGolden = []PointStat{
+	{"BP-SF(BP50,wmax=4,phi=20,ns=5)", 0.002, 25, 0},
+	{"BP-SF(BP50,wmax=4,phi=20,ns=5)", 0.004, 25, 2},
+	{"BP1000-OSD10", 0.002, 25, 0},
+	{"BP1000-OSD10", 0.004, 25, 3},
+	{"BP1000", 0.002, 25, 0},
+	{"BP1000", 0.004, 25, 5},
+}
+
+func checkGolden(t *testing.T, name string, shots int, golden []PointStat) {
+	t.Helper()
+	for _, workers := range []int{1, 8} {
+		res, err := Run(name, Opts{Shots: shots, Seed: 20260608, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(golden) {
+			t.Fatalf("%s workers=%d: %d rows, want %d", name, workers, len(res.Rows), len(golden))
+		}
+		for i, row := range res.Rows {
+			if row != golden[i] {
+				t.Errorf("%s workers=%d row %d: got %+v, want %+v", name, workers, i, row, golden[i])
+			}
+		}
+	}
+}
+
+// TestCapacitySweepGolden pins a code-capacity harness (Fig. 5, quick
+// scale): the parallel sweep must reproduce the committed statistics at any
+// worker count.
+func TestCapacitySweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden Monte Carlo sweep skipped in -short")
+	}
+	checkGolden(t, "fig05", 30, fig05Golden)
+}
+
+// TestCircuitSweepGolden pins a circuit-level harness (Fig. 17c, quick
+// scale), covering the DEM sampler and the stochastic BP-SF trial stream.
+func TestCircuitSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden Monte Carlo sweep skipped in -short")
+	}
+	checkGolden(t, "fig17c", 25, fig17cGolden)
+}

@@ -51,7 +51,9 @@ func Uniform() Noise {
 func Noiseless() Noise { return Noise{} }
 
 // Build generates the memory-experiment circuit for css over the given
-// number of rounds.
+// number of rounds. It is a pure function of its arguments — safe to call
+// from concurrent grid cells of the parallel experiment sweeps (the
+// experiments layer deduplicates identical builds through its DEM cache).
 func Build(css *code.CSS, rounds int, nz Noise) (*circuit.Circuit, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("memexp: rounds must be ≥1, got %d", rounds)

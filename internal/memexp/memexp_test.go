@@ -177,3 +177,42 @@ func TestSampledShotsObservablesMatchOracle(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentBuildsDeterministic covers the parallel-sweep usage: the
+// experiments layer builds memory-experiment circuits from concurrent grid
+// cells (via its singleflight DEM cache), so Build must be safe under
+// concurrent use and produce identical circuits for identical inputs.
+// Run with -race in CI.
+func TestConcurrentBuildsDeterministic(t *testing.T) {
+	css, err := codes.Surface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	dems := make([]*dem.DEM, workers)
+	errs := make([]error, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			c, err := Build(css, 3, Uniform())
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			dems[w], errs[w] = dem.Extract(c)
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		if dems[w].NumMechs() != dems[0].NumMechs() || !dems[w].H.Equal(dems[0].H) ||
+			!dems[w].Obs.Equal(dems[0].Obs) {
+			t.Fatalf("concurrent build %d produced a different DEM", w)
+		}
+	}
+}

@@ -26,6 +26,16 @@ func NewCapacitySampler(n int, p float64, seed int64) *CapacitySampler {
 func (s *CapacitySampler) Sample() (ex, ez gf2.Vec) {
 	ex = gf2.NewVec(s.n)
 	ez = gf2.NewVec(s.n)
+	s.SampleInto(ex, ez)
+	return ex, ez
+}
+
+// SampleInto draws one error into caller-owned vectors, overwriting their
+// contents — the allocation-free variant used by the sharded Monte-Carlo
+// engine.
+func (s *CapacitySampler) SampleInto(ex, ez gf2.Vec) {
+	ex.Zero()
+	ez.Zero()
 	for q := 0; q < s.n; q++ {
 		r := s.rng.Float64()
 		switch {
@@ -38,7 +48,6 @@ func (s *CapacitySampler) Sample() (ex, ez gf2.Vec) {
 			ez.Set(q, true)
 		}
 	}
-	return ex, ez
 }
 
 // MarginalProb returns the per-qubit probability of an X component (equal

@@ -141,6 +141,10 @@ func NewBPSF(h *sparse.Mat, priors []float64, cfg bpsf.Config) (Decoder, error) 
 
 func (a *bpsfAdapter) Name() string { return a.name }
 
+// Reseed re-seeds the trial-sampling RNG (Reseeder); the sharded engine
+// calls it so each shard draws an independent trial stream.
+func (a *bpsfAdapter) Reseed(seed int64) { a.d.Reseed(seed) }
+
 func (a *bpsfAdapter) Decode(s gf2.Vec) Outcome {
 	r := a.d.Decode(s)
 	return Outcome{

@@ -11,8 +11,10 @@ import (
 )
 
 // Factory builds a Decoder for a given parity-check matrix and per-bit
-// priors. The harness calls it once per decoding side (code capacity) or
-// once per DEM (circuit level).
+// priors. The harness calls it once per shard and decoding side (code
+// capacity) or once per shard (circuit level), so it may be invoked from
+// concurrent goroutines and must not share mutable state between the
+// decoders it returns.
 type Factory func(h *sparse.Mat, priors []float64) (Decoder, error)
 
 // Config controls one Monte-Carlo run.
@@ -25,10 +27,18 @@ type Config struct {
 	Seed int64
 	// MaxLogicalErrors stops early once this many failures are collected
 	// (0 = run all shots). The paper collects ≥100 logical errors per
-	// point.
+	// point. Propagated across shards through a shared atomic counter; see
+	// the engine's determinism contract.
 	MaxLogicalErrors int
 	// KeepRecords retains per-shot records for latency analysis.
 	KeepRecords bool
+	// Workers is the number of goroutines decoding shards in parallel
+	// (0 = runtime.NumCPU()). Results are bit-identical for any value.
+	Workers int
+	// Shards overrides the shard count (0 = automatic). Results depend on
+	// the shard decomposition, so override it only to pin a decomposition
+	// across runs with different Shots.
+	Shards int
 }
 
 // Record is one shot's decoder telemetry (estimates dropped to save
@@ -82,6 +92,14 @@ func (r *Result) record(o Outcome, failed bool, keep bool) {
 	r.AvgTime += o.Time
 	r.iterSamps = append(r.iterSamps, o.Iterations)
 	if keep {
+		// Outcome trial slices alias reusable decoder buffers; copy them
+		// so Records survive the next decode on the same shard.
+		var trialIters []int
+		var trialSucc []bool
+		if len(o.TrialIterations) > 0 {
+			trialIters = append([]int(nil), o.TrialIterations...)
+			trialSucc = append([]bool(nil), o.TrialSuccess...)
+		}
 		r.Records = append(r.Records, Record{
 			Failed:             failed,
 			PostUsed:           o.PostUsed,
@@ -90,8 +108,8 @@ func (r *Result) record(o Outcome, failed bool, keep bool) {
 			InitIterations:     o.InitIterations,
 			Time:               o.Time,
 			PostTime:           o.PostTime,
-			TrialIterations:    o.TrialIterations,
-			TrialSuccess:       o.TrialSuccess,
+			TrialIterations:    trialIters,
+			TrialSuccess:       trialSucc,
 		})
 	}
 }
@@ -110,77 +128,83 @@ func (r *Result) IterationStats() IntStats { return SummarizeInts(r.iterSamps) }
 // RunCapacity evaluates a decoder family on css under the code-capacity
 // depolarizing model. X and Z errors are decoded independently (HZ and HX
 // sides); a shot fails if either side fails or leaves a logical residual.
+// Shots run sharded across Config.Workers goroutines; results are
+// bit-identical for any worker count.
 func RunCapacity(css *code.CSS, mk Factory, cfg Config) (*Result, error) {
 	q := noise.MarginalProb(cfg.P)
-	decX, err := mk(css.HZ, noise.UniformPriors(css.N, q))
-	if err != nil {
-		return nil, err
-	}
-	decZ, err := mk(css.HX, noise.UniformPriors(css.N, q))
-	if err != nil {
-		return nil, err
-	}
-	sampler := noise.NewCapacitySampler(css.N, cfg.P, cfg.Seed)
-	res := &Result{Decoder: decX.Name(), P: cfg.P}
-	resid := gf2.NewVec(css.N)
-	for shot := 0; shot < cfg.Shots; shot++ {
-		ex, ez := sampler.Sample()
-		outX := decX.Decode(css.SyndromeOfX(ex))
-		failed := !outX.Success
-		if !failed {
-			resid.CopyFrom(ex)
-			resid.Xor(outX.ErrHat)
-			failed = css.IsLogicalX(resid)
+	sharder := func(shardSeed int64) (Shard, error) {
+		decX, err := mk(css.HZ, noise.UniformPriors(css.N, q))
+		if err != nil {
+			return Shard{}, err
 		}
-		outZ := decZ.Decode(css.SyndromeOfZ(ez))
-		if !failed {
-			if !outZ.Success {
-				failed = true
-			} else {
-				resid.CopyFrom(ez)
-				resid.Xor(outZ.ErrHat)
-				failed = css.IsLogicalZ(resid)
+		decZ, err := mk(css.HX, noise.UniformPriors(css.N, q))
+		if err != nil {
+			return Shard{}, err
+		}
+		Reseed(decX, ShardSeed(shardSeed, 1))
+		Reseed(decZ, ShardSeed(shardSeed, 2))
+		sampler := noise.NewCapacitySampler(css.N, cfg.P, shardSeed)
+		ex := gf2.NewVec(css.N)
+		ez := gf2.NewVec(css.N)
+		sx := gf2.NewVec(css.HZ.Rows())
+		sz := gf2.NewVec(css.HX.Rows())
+		resid := gf2.NewVec(css.N)
+		shot := func() (Outcome, bool) {
+			sampler.SampleInto(ex, ez)
+			css.SyndromeOfXInto(sx, ex)
+			outX := decX.Decode(sx)
+			failed := !outX.Success
+			if !failed {
+				resid.CopyFrom(ex)
+				resid.Xor(outX.ErrHat)
+				failed = css.IsLogicalX(resid)
 			}
+			css.SyndromeOfZInto(sz, ez)
+			outZ := decZ.Decode(sz)
+			if !failed {
+				if !outZ.Success {
+					failed = true
+				} else {
+					resid.CopyFrom(ez)
+					resid.Xor(outZ.ErrHat)
+					failed = css.IsLogicalZ(resid)
+				}
+			}
+			// telemetry: record the X-side decode (one syndrome, matching the
+			// paper's per-syndrome accounting) but fold in the Z-side failure
+			return outX, failed
 		}
-		// telemetry: record the X-side decode (one syndrome, matching the
-		// paper's per-syndrome accounting) but fold in the Z-side failure
-		res.Shots++
-		res.record(outX, failed, cfg.KeepRecords)
-		if cfg.MaxLogicalErrors > 0 && res.Failures >= cfg.MaxLogicalErrors {
-			break
-		}
+		return Shard{Name: decX.Name(), Shot: shot}, nil
 	}
-	res.finishAverages()
-	res.finalize(0)
-	return res, nil
+	return Run(cfg, 0, sharder)
 }
 
 // RunCircuit evaluates a decoder on a detector error model: shots are
 // sampled from the DEM at rate p, the decoder sees the detector syndrome,
 // and a shot fails when the decoder's estimate predicts the wrong logical
 // observable flips (or fails to satisfy the syndrome). rounds is used for
-// the per-round rate.
+// the per-round rate. Shots run sharded across Config.Workers goroutines;
+// results are bit-identical for any worker count.
 func RunCircuit(d *dem.DEM, rounds int, mk Factory, cfg Config) (*Result, error) {
-	sampler := dem.NewSampler(d, cfg.P, cfg.Seed)
-	dec, err := mk(d.H, sampler.Priors())
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Decoder: dec.Name(), P: cfg.P}
-	for shot := 0; shot < cfg.Shots; shot++ {
-		sh := sampler.Sample()
-		out := dec.Decode(sh.Syndrome)
-		failed := !out.Success
-		if !failed {
-			failed = !d.ObsOf(out.ErrHat).Equal(sh.ObsFlips)
+	sharder := func(shardSeed int64) (Shard, error) {
+		sampler := dem.NewSampler(d, cfg.P, shardSeed)
+		dec, err := mk(d.H, sampler.Priors())
+		if err != nil {
+			return Shard{}, err
 		}
-		res.Shots++
-		res.record(out, failed, cfg.KeepRecords)
-		if cfg.MaxLogicalErrors > 0 && res.Failures >= cfg.MaxLogicalErrors {
-			break
+		Reseed(dec, ShardSeed(shardSeed, 1))
+		obsHat := gf2.NewVec(d.NumObs)
+		shot := func() (Outcome, bool) {
+			syndrome, obsFlips := sampler.SampleShared()
+			out := dec.Decode(syndrome)
+			failed := !out.Success
+			if !failed {
+				d.Obs.MulVecInto(obsHat, out.ErrHat)
+				failed = !obsHat.Equal(obsFlips)
+			}
+			return out, failed
 		}
+		return Shard{Name: dec.Name(), Shot: shot}, nil
 	}
-	res.finishAverages()
-	res.finalize(rounds)
-	return res, nil
+	return Run(cfg, rounds, sharder)
 }
