@@ -36,6 +36,7 @@ import (
 	"bpsf/internal/memexp"
 	"bpsf/internal/noise"
 	"bpsf/internal/osd"
+	"bpsf/internal/service"
 	"bpsf/internal/sim"
 	"bpsf/internal/sparse"
 )
@@ -184,4 +185,40 @@ func RunCircuit(d *DEM, rounds int, mk Factory, cfg MCConfig) (*MCResult, error)
 // under a P-worker pool; see sim.ScheduleLatency.
 func ScheduleLatency(initIters int, trialIters []int, trialSuccess []bool, workers int) int {
 	return sim.ScheduleLatency(initIters, trialIters, trialSuccess, workers)
+}
+
+// Real-time decode service re-exports (internal/service; wire protocol and
+// pool semantics in DESIGN.md §5).
+type (
+	// DecodeServer is the streaming syndrome server behind cmd/bpsf-serve.
+	DecodeServer = service.Server
+	// ServeOptions configures a DecodeServer (pool size, queue depth, ...).
+	ServeOptions = service.Options
+	// ServiceClient is one decode session against a DecodeServer.
+	ServiceClient = service.Client
+	// ServiceHello opens a session: code, rounds, error rate, decoder spec,
+	// stream seed and shedding deadline.
+	ServiceHello = service.Hello
+	// ServiceSpec selects the decoder family of a session.
+	ServiceSpec = service.Spec
+	// ServiceResponse is one syndrome's decode report.
+	ServiceResponse = service.Response
+	// ServicePoolStats is one warm pool's cumulative service report.
+	ServicePoolStats = service.PoolStats
+)
+
+// NewDecodeServer builds a streaming decode server; start it with Listen,
+// stop it with Drain.
+func NewDecodeServer(opts ServeOptions) *DecodeServer { return service.NewServer(opts) }
+
+// DialDecodeService opens a decode session with a running server.
+func DialDecodeService(addr string, h ServiceHello) (*ServiceClient, error) {
+	return service.Dial(addr, h)
+}
+
+// ServiceRequestSeed is the deterministic decoder seed applied to the
+// index-th syndrome of a session opened with streamSeed (the service
+// determinism contract, DESIGN.md §5).
+func ServiceRequestSeed(streamSeed int64, index int) int64 {
+	return service.RequestSeed(streamSeed, index)
 }

@@ -137,3 +137,48 @@ func TestFacadeRawDecoder(t *testing.T) {
 		t.Fatal("flip-back invariant violated through facade")
 	}
 }
+
+func TestFacadeDecodeService(t *testing.T) {
+	srv := NewDecodeServer(ServeOptions{PoolSize: 1})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain(0)
+	h := ServiceHello{
+		Code: "bb72", Rounds: 2, P: 0.003, StreamSeed: 3,
+		Spec: ServiceSpec{Kind: "bp", BPIters: 30},
+	}
+	c, err := DialDecodeService(srv.Addr().String(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	code, err := NewCode("bb72")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildMemoryDEM(code, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDets() != d.NumDets {
+		t.Fatalf("session numDets=%d, DEM has %d", c.NumDets(), d.NumDets)
+	}
+	sampler := NewDEMSampler(d, 0.003, 9)
+	resps, err := c.Decode([]Vec{sampler.Sample().Syndrome, sampler.Sample().Syndrome})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("%d responses, want 2", len(resps))
+	}
+	for i, r := range resps {
+		if r.Shed || r.Iterations == 0 {
+			t.Fatalf("response %d: %+v", i, r)
+		}
+	}
+	if ServiceRequestSeed(3, 0) == ServiceRequestSeed(3, 1) {
+		t.Fatal("request seeds collide")
+	}
+}

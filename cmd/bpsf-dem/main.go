@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	bpsf-dem -code bb144 [-rounds 12] [-p 0.003]
+//	bpsf-dem -code bb144 [-rounds 12] [-p 0.003] [-seed 1] [-shots 200]
 package main
 
 import (
@@ -25,9 +25,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bpsf-dem: ")
-	codeName := flag.String("code", "bb144", "code name: "+fmt.Sprint(codes.Names()))
-	rounds := flag.Int("rounds", 0, "syndrome extraction rounds (0 = code default)")
-	p := flag.Float64("p", 0.003, "physical error rate for the prior summary")
+	codeName := flag.String("code", "bb144", "code: "+fmt.Sprint(codes.Names()))
+	rounds := flag.Int("rounds", 0, "extraction rounds (0 = code default)")
+	p := flag.Float64("p", 0.003, "physical error rate for the prior and shot summaries")
+	seed := flag.Int64("seed", 1, "sampler seed")
+	shots := flag.Int("shots", 200, "sampled shots for the empirical summary (0 = skip)")
 	flag.Parse()
 
 	entry, ok := codes.Catalog()[*codeName]
@@ -84,5 +86,22 @@ func main() {
 		sum += q
 	}
 	fmt.Printf("priors at p=%g: expected fired mechanisms per shot=%.2f\n", *p, sum)
+
+	if *shots > 0 {
+		sampler := dem.NewSampler(d, *p, *seed)
+		var mechs, synWeight, quiet int
+		for i := 0; i < *shots; i++ {
+			syndrome, _ := sampler.SampleShared()
+			mechs += len(sampler.Mechs())
+			w := syndrome.Weight()
+			synWeight += w
+			if w == 0 {
+				quiet++
+			}
+		}
+		n := float64(*shots)
+		fmt.Printf("sampled %d shots (seed %d): avg fired mechanisms=%.2f, avg syndrome weight=%.2f, zero-syndrome shots=%.1f%%\n",
+			*shots, *seed, float64(mechs)/n, float64(synWeight)/n, 100*float64(quiet)/n)
+	}
 	os.Exit(0)
 }

@@ -115,11 +115,11 @@ func main() {
 	}
 
 	gpu := sim.DefaultGPUModel()
-	tb := sim.NewTable("decoder", "LER/round", "min ms", "median ms", "avg ms", "max ms")
+	tb := sim.NewTable("decoder", "LER/round", "min ms", "median ms", "avg ms", "p99 ms", "max ms")
 	ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
 	row := func(label string, lerRound float64, ds []time.Duration) {
-		st := sim.SummarizeDurations(ds)
-		tb.Row(label, lerRound, ms(st.Min), ms(st.Median), ms(st.Avg), ms(st.Max))
+		st := sim.Summarize(ds)
+		tb.Row(label, lerRound, ms(st.Min), ms(st.P50), ms(st.Avg), ms(st.P99), ms(st.Max))
 	}
 
 	times := func(recs []sim.Record) []time.Duration {

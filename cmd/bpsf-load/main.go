@@ -1,0 +1,210 @@
+// Command bpsf-load drives a bpsf-serve instance with synthetic syndrome
+// traffic and reports throughput and latency percentiles. Closed-loop mode
+// keeps a fixed number of sessions each with one batch in flight (the
+// classic saturation probe); open-loop mode submits batches at a fixed
+// arrival rate regardless of completions, which is what exposes queueing
+// delay and shedding under overload.
+//
+// Usage:
+//
+//	bpsf-load -addr 127.0.0.1:7421 -code bb144 -p 0.003 -shots 10000 -sessions 8
+//	bpsf-load -addr 127.0.0.1:7421 -mode open -rate 2000 -deadline 5ms -shots 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/dem"
+	"bpsf/internal/gf2"
+	"bpsf/internal/memexp"
+	"bpsf/internal/service"
+	"bpsf/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bpsf-load: ")
+	addr := flag.String("addr", "127.0.0.1:7421", "server address")
+	codeName := flag.String("code", "bb144", "code: "+fmt.Sprint(codes.Names()))
+	rounds := flag.Int("rounds", 0, "extraction rounds (0 = code default)")
+	p := flag.Float64("p", 0.003, "physical error rate")
+	decoder := flag.String("decoder", "bpsf", "decoder: bp | bposd | bpsf")
+	bpIters := flag.Int("bp-iters", 100, "BP iteration cap")
+	osdOrder := flag.Int("osd-order", 10, "OSD-CS order (bposd)")
+	phi := flag.Int("phi", 50, "BP-SF candidate set size |Φ|")
+	wmax := flag.Int("wmax", 10, "BP-SF maximum trial weight")
+	ns := flag.Int("ns", 10, "BP-SF sampled trials per weight (0 = exhaustive)")
+	sessions := flag.Int("sessions", 4, "concurrent sessions")
+	shots := flag.Int("shots", 1000, "total syndromes across all sessions")
+	batch := flag.Int("batch", 16, "syndromes per request batch")
+	mode := flag.String("mode", "closed", "load model: closed | open")
+	rate := flag.Float64("rate", 500, "total batch arrivals per second (open mode)")
+	seed := flag.Int64("seed", 1, "sampler and stream seed base")
+	deadline := flag.Duration("deadline", 0, "server queue deadline (0 = backpressure, never shed)")
+	maxShed := flag.Int("max-shed", -1, "exit nonzero when more responses were shed (-1 = no check)")
+	flag.Parse()
+
+	entry, ok := codes.Catalog()[*codeName]
+	if !ok {
+		log.Fatalf("unknown code %q (known: %v)", *codeName, codes.Names())
+	}
+	r := *rounds
+	if r == 0 {
+		r = entry.Rounds
+	}
+	spec := service.Spec{Kind: *decoder, BPIters: *bpIters, OSDOrder: *osdOrder,
+		Phi: *phi, WMax: *wmax, NS: *ns}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// local DEM build: the generator owns its syndrome source so the server
+	// is measured on decoding alone
+	css, err := entry.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	circ, err := memexp.Build(css, r, memexp.Uniform())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := dem.Extract(circ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, %d rounds, %d mechanisms, p=%g, decoder %s\n", css.Name, r, d.NumMechs(), *p, spec)
+	fmt.Printf("%s-loop: %d sessions, %d shots, batch %d\n", *mode, *sessions, *shots, *batch)
+
+	perSession := (*shots + *sessions - 1) / *sessions
+	var interval time.Duration
+	if *mode == "open" {
+		if *rate <= 0 {
+			log.Fatal("-mode open needs -rate > 0")
+		}
+		// per-session batch arrival interval; sessions are staggered by Dial
+		// time so total arrivals approximate -rate
+		interval = time.Duration(float64(*sessions) * float64(*batch) / *rate * float64(time.Second))
+	} else if *mode != "closed" {
+		log.Fatalf("unknown mode %q (want closed|open)", *mode)
+	}
+
+	var mu sync.Mutex
+	var serverLat, clientLat []time.Duration
+	var decoded, shed, failures int
+	record := func(rtt time.Duration, resps []service.Response) {
+		mu.Lock()
+		defer mu.Unlock()
+		clientLat = append(clientLat, rtt)
+		for _, resp := range resps {
+			if resp.Shed {
+				shed++
+				continue
+			}
+			decoded++
+			serverLat = append(serverLat, resp.Latency)
+			if !resp.Success {
+				failures++
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, *sessions)
+	t0 := time.Now()
+	for s := 0; s < *sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h := service.Hello{
+				Code: *codeName, Rounds: r, P: *p,
+				StreamSeed: *seed + int64(s)*1000,
+				Deadline:   *deadline,
+				Spec:       spec,
+			}
+			c, err := service.Dial(*addr, h)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: %w", s, err)
+				return
+			}
+			defer c.Close()
+			sampler := dem.NewSampler(d, *p, *seed+int64(s))
+			buf := make([]gf2.Vec, *batch)
+			for i := range buf {
+				buf[i] = gf2.NewVec(d.NumDets)
+			}
+			var pending sync.WaitGroup
+			next := time.Now()
+			for sent := 0; sent < perSession; {
+				n := *batch
+				if perSession-sent < n {
+					n = perSession - sent
+				}
+				for i := 0; i < n; i++ {
+					syn, _ := sampler.SampleShared()
+					buf[i].CopyFrom(syn)
+				}
+				if interval > 0 {
+					// open loop: hold the schedule even when responses lag
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				sendT := time.Now()
+				pend, err := c.Submit(buf[:n])
+				if err != nil {
+					errs <- fmt.Errorf("session %d: %w", s, err)
+					return
+				}
+				sent += n
+				if interval > 0 {
+					pending.Add(1)
+					go func() {
+						defer pending.Done()
+						if resps, err := pend.Wait(); err == nil {
+							record(time.Since(sendT), resps)
+						}
+					}()
+				} else {
+					resps, err := pend.Wait()
+					if err != nil {
+						errs <- fmt.Errorf("session %d: %w", s, err)
+						return
+					}
+					record(time.Since(sendT), resps)
+				}
+			}
+			pending.Wait()
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatal(err)
+	}
+	wall := time.Since(t0)
+
+	tput := float64(decoded) / wall.Seconds()
+	fmt.Printf("\n%d decoded, %d shed, %d decode failures in %v  →  %.0f syndromes/s\n",
+		decoded, shed, failures, wall.Round(time.Millisecond), tput)
+
+	ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
+	srv := sim.Summarize(serverLat)
+	cli := sim.Summarize(clientLat)
+	tb := sim.NewTable("latency", "n", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms", "max ms")
+	tb.Row("server (queue+decode)", srv.N, ms(srv.P50), ms(srv.P95), ms(srv.P99), ms(srv.P999), ms(srv.Max))
+	tb.Row("client batch RTT", cli.N, ms(cli.P50), ms(cli.P95), ms(cli.P99), ms(cli.P999), ms(cli.Max))
+	if err := tb.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if *maxShed >= 0 && shed > *maxShed {
+		log.Fatalf("shed %d responses, budget %d", shed, *maxShed)
+	}
+}

@@ -1,0 +1,91 @@
+// Command bpsf-serve runs the streaming decode service: clients open
+// sessions naming a code, round count, error rate and decoder spec, then
+// stream framed syndrome batches and receive per-syndrome decode
+// responses. Sessions share per-(code,rounds,p,spec) warm decoder pools
+// with adaptive batch coalescing and deadline-based load shedding; see
+// DESIGN.md §5 for the protocol and cmd/bpsf-load for a traffic source.
+//
+// Usage:
+//
+//	bpsf-serve -addr :7421 -pool-size 8 -queue-depth 1024
+//
+// SIGINT/SIGTERM drains gracefully: accepted work completes, final
+// per-pool stats print on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"bpsf/internal/service"
+	"bpsf/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bpsf-serve: ")
+	addr := flag.String("addr", ":7421", "listen address")
+	poolSize := flag.Int("pool-size", runtime.NumCPU(), "warm decoders per pool")
+	queueDepth := flag.Int("queue-depth", 1024, "admission queue bound per pool")
+	maxBatch := flag.Int("max-batch", 32, "adaptive coalescing cap")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "session grace period on shutdown")
+	statsEvery := flag.Duration("stats", 0, "periodic stats interval (0 = only on exit)")
+	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...interface{}) {}
+	}
+	srv := service.NewServer(service.Options{
+		PoolSize:   *poolSize,
+		QueueDepth: *queueDepth,
+		MaxBatch:   *maxBatch,
+		Logf:       logf,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (pool-size=%d queue-depth=%d max-batch=%d)",
+		srv.Addr(), *poolSize, *queueDepth, *maxBatch)
+
+	if *statsEvery > 0 {
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				printStats(srv.Stats())
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	log.Printf("%v: draining (grace %v)", sig, *drainGrace)
+	stats := srv.Drain(*drainGrace)
+	printStats(stats)
+}
+
+func printStats(stats []service.PoolStats) {
+	if len(stats) == 0 {
+		fmt.Println("no pools served")
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	tb := sim.NewTable("pool", "size", "decoded", "shed(queue)", "shed(deadline)",
+		"avg batch", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms", "max ms")
+	for _, st := range stats {
+		tb.Row(st.Pool, st.Size, st.Decoded, st.ShedQueue, st.ShedDeadline, st.AvgBatch,
+			ms(st.Latency.P50), ms(st.Latency.P95), ms(st.Latency.P99), ms(st.Latency.P999), ms(st.Latency.Max))
+	}
+	if err := tb.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -94,7 +94,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17a", "fig17b", "fig17c", "table1", "table2", "table3",
 		"ablation-damping", "ablation-trials", "ablation-first-success",
-		"ablation-variant",
+		"ablation-variant", "service-latency",
 	}
 	reg := Registry()
 	for _, name := range want {
@@ -153,6 +153,28 @@ func TestCapacitySweepSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "BP1000-OSD10") {
 		t.Fatal("table output missing decoder rows")
+	}
+}
+
+func TestServiceLatencySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback service harness skipped in -short")
+	}
+	var buf bytes.Buffer
+	res, err := Run("service-latency", Opts{Shots: 24, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("service-latency series = %d, want 3", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.X) != 2 { // quick scale measures pool sizes 1 and 2
+			t.Fatalf("series %q has %d points, want 2", s.Label, len(s.X))
+		}
+	}
+	if !strings.Contains(buf.String(), "pool size") {
+		t.Fatalf("missing report table:\n%s", buf.String())
 	}
 }
 

@@ -316,17 +316,18 @@ func Fig15(o Opts) (FigureResult, error) {
 		iterUnit /= time.Duration(iterCount)
 	}
 
-	tb := sim.NewTable("decoder", "min ms", "median ms", "avg ms", "max ms")
+	tb := sim.NewTable("decoder", "min ms", "median ms", "avg ms", "p99 ms", "max ms")
 	res := FigureResult{Name: "fig15", Notes: "P>1 rows derive from the schedule model (iteration units × measured per-iteration time)"}
 	ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
 
 	report := func(label string, ds []time.Duration) {
-		st := sim.SummarizeDurations(ds)
-		tb.Row(label, ms(st.Min), ms(st.Median), ms(st.Avg), ms(st.Max))
+		st := sim.Summarize(ds)
+		tb.Row(label, ms(st.Min), ms(st.P50), ms(st.Avg), ms(st.P99), ms(st.Max))
 		s := sim.Series{Label: label}
 		s.Add(0, ms(st.Min))
-		s.Add(0.5, ms(st.Median))
-		s.Add(0.99, ms(st.Max))
+		s.Add(0.5, ms(st.P50))
+		s.Add(0.99, ms(st.P99))
+		s.Add(1, ms(st.Max))
 		res.Series = append(res.Series, s)
 	}
 
@@ -399,7 +400,7 @@ func Fig16(o Opts) (FigureResult, error) {
 			time.Duration(float64(r.PostTime)*gpuOSDScale))
 	}
 
-	tb := sim.NewTable("decoder", "avg ms", "max ms")
+	tb := sim.NewTable("decoder", "avg ms", "p99 ms", "max ms")
 	res := FigureResult{Name: "fig16", Notes: "all rows modeled with sim.GPUModel constants"}
 	ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
 	for _, row := range []struct {
@@ -410,10 +411,11 @@ func Fig16(o Opts) (FigureResult, error) {
 		{"BP-SF (GPU, batched trials)", batched},
 		{"BP1000-OSD10 (GPU model)", osdEst},
 	} {
-		st := sim.SummarizeDurations(row.ds)
-		tb.Row(row.label, ms(st.Avg), ms(st.Max))
+		st := sim.Summarize(row.ds)
+		tb.Row(row.label, ms(st.Avg), ms(st.P99), ms(st.Max))
 		s := sim.Series{Label: row.label}
 		s.Add(0, ms(st.Avg))
+		s.Add(0.99, ms(st.P99))
 		s.Add(1, ms(st.Max))
 		res.Series = append(res.Series, s)
 	}

@@ -30,6 +30,17 @@ var fig05Golden = []PointStat{
 	{"BP1000", 0.1, 30, 11},
 }
 
+var fig07Golden = []PointStat{
+	{"BP-SF(BP100,wmax=6,phi=50,ns=5)", 0.002, 25, 0},
+	{"BP-SF(BP100,wmax=6,phi=50,ns=5)", 0.003, 25, 2},
+	{"BP-SF(BP100,wmax=10,phi=50,ns=10)", 0.002, 25, 0},
+	{"BP-SF(BP100,wmax=10,phi=50,ns=10)", 0.003, 25, 1},
+	{"BP1000-OSD10", 0.002, 25, 0},
+	{"BP1000-OSD10", 0.003, 25, 1},
+	{"BP1000", 0.002, 25, 0},
+	{"BP1000", 0.003, 25, 5},
+}
+
 var fig17cGolden = []PointStat{
 	{"BP-SF(BP50,wmax=4,phi=20,ns=5)", 0.002, 25, 0},
 	{"BP-SF(BP50,wmax=4,phi=20,ns=5)", 0.004, 25, 2},
@@ -74,4 +85,15 @@ func TestCircuitSweepGolden(t *testing.T) {
 		t.Skip("golden Monte Carlo sweep skipped in -short")
 	}
 	checkGolden(t, "fig17c", 25, fig17cGolden)
+}
+
+// TestCircuitFig07Golden pins the headline circuit-level figure (Fig. 7,
+// J144,12,12K, quick scale): a third decoder grid — two BP-SF operating
+// points against both baselines — widening regression coverage beyond
+// fig05/fig17c.
+func TestCircuitFig07Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden Monte Carlo sweep skipped in -short")
+	}
+	checkGolden(t, "fig07", 25, fig07Golden)
 }

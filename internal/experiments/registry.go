@@ -36,6 +36,8 @@ func Registry() map[string]Harness {
 		"ablation-trials":        AblationTrialPolicy,
 		"ablation-first-success": AblationFirstSuccess,
 		"ablation-variant":       AblationVariant,
+
+		"service-latency": ServiceLatency,
 	}
 }
 

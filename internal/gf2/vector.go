@@ -163,6 +163,40 @@ func (v Vec) Equal(u Vec) bool {
 	return true
 }
 
+// ByteLen returns the number of bytes needed to serialize v (8 bits per
+// byte, LSB first).
+func (v Vec) ByteLen() int { return (v.n + 7) / 8 }
+
+// AppendBytes appends the vector's packed bits to dst — ByteLen bytes,
+// little-endian bit order within each byte — and returns the extended
+// slice. The wire format of the decode service.
+func (v Vec) AppendBytes(dst []byte) []byte {
+	nb := v.ByteLen()
+	for i := 0; i < nb; i++ {
+		dst = append(dst, byte(v.w[i/8]>>(8*(uint(i)%8))))
+	}
+	return dst
+}
+
+// SetBytes overwrites v from the packed representation produced by
+// AppendBytes. b must hold exactly ByteLen bytes; pad bits beyond Len in
+// the final byte are discarded.
+func (v Vec) SetBytes(b []byte) error {
+	if len(b) != v.ByteLen() {
+		return fmt.Errorf("gf2: SetBytes length %d, want %d", len(b), v.ByteLen())
+	}
+	for i := range v.w {
+		v.w[i] = 0
+	}
+	for i, x := range b {
+		v.w[i/8] |= uint64(x) << (8 * (uint(i) % 8))
+	}
+	if r := uint(v.n) % wordBits; r != 0 && len(v.w) > 0 {
+		v.w[len(v.w)-1] &= ^uint64(0) >> (wordBits - r)
+	}
+	return nil
+}
+
 // Support returns the sorted indices of set bits.
 func (v Vec) Support() []int {
 	out := make([]int, 0, v.Weight())

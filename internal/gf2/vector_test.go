@@ -161,3 +161,34 @@ func TestVecPanicsOnMismatch(t *testing.T) {
 	a, b := NewVec(3), NewVec(4)
 	a.Xor(b)
 }
+
+func TestVecBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 130, 1031} {
+		v := randVec(r, n)
+		b := v.AppendBytes(nil)
+		if len(b) != v.ByteLen() || len(b) != (n+7)/8 {
+			t.Fatalf("n=%d: %d bytes, want %d", n, len(b), (n+7)/8)
+		}
+		u := NewVec(n)
+		if err := u.SetBytes(b); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !u.Equal(v) {
+			t.Fatalf("n=%d: round trip mismatch\n v=%s\n u=%s", n, v, u)
+		}
+	}
+}
+
+func TestVecSetBytesMasksPadBits(t *testing.T) {
+	v := NewVec(3)
+	if err := v.SetBytes([]byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Weight() != 3 {
+		t.Fatalf("pad bits leaked: weight=%d", v.Weight())
+	}
+	if err := v.SetBytes([]byte{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"bpsf/internal/gf2"
+)
+
+// Client is one decode session. Submit pipelines batches (any number may
+// be in flight, bounded by the server's per-session pipeline depth);
+// Decode is the synchronous convenience wrapper. Submit and Decode are
+// safe for concurrent use; responses always come back in submission order
+// per Pending.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// geometry from the server's session acceptance
+	numDets  int
+	numMechs int
+	poolSize int
+
+	maxFrame int
+	maxBatch int
+
+	sendMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex // guards pending/nextID/err
+	pending map[uint64]*Pending
+	nextID  uint64
+	err     error
+}
+
+// Pending is an in-flight batch; Wait blocks for its responses.
+type Pending struct {
+	done  chan struct{}
+	resps []Response
+	err   error
+}
+
+// Wait blocks until the batch's replies arrive (or the session fails) and
+// returns one Response per submitted syndrome, in submission order.
+func (p *Pending) Wait() ([]Response, error) {
+	<-p.done
+	return p.resps, p.err
+}
+
+// Dial opens a decode session. The Hello is validated locally first, so
+// configuration mistakes fail without a network round trip.
+func Dial(addr string, h Hello) (*Client, error) {
+	if _, err := validateHello(h); err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		br:       bufio.NewReader(conn),
+		bw:       bufio.NewWriter(conn),
+		maxFrame: defaultMaxFrame,
+		pending:  make(map[uint64]*Pending),
+	}
+	payload, err := appendHello(nil, h)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(c.bw, payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ackPayload, err := readFrame(c.br, c.maxFrame)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("service: reading session acceptance: %w", err)
+	}
+	ack, err := parseHelloAck(ackPayload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.numDets = int(ack.numDets)
+	c.numMechs = int(ack.numMechs)
+	c.poolSize = int(ack.poolSize)
+	c.maxBatch = batchLimit(c.maxFrame, c.numDets, c.numMechs)
+	go c.recvLoop()
+	return c, nil
+}
+
+// batchLimit is the largest batch whose request AND reply both fit the
+// frame guard — replies carry (fixed + mechBytes) per syndrome, which for
+// every catalog DEM is the wider side.
+func batchLimit(maxFrame, numDets, numMechs int) int {
+	detBytes := (numDets + 7) / 8
+	mechBytes := (numMechs + 7) / 8
+	limit := 65535
+	if n := (maxFrame - batchHeaderLen) / (replyItemFixedLen + mechBytes); n < limit {
+		limit = n
+	}
+	if detBytes > 0 {
+		if n := (maxFrame - batchHeaderLen) / detBytes; n < limit {
+			limit = n
+		}
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// NumDets returns the syndrome bit length of the session's DEM.
+func (c *Client) NumDets() int { return c.numDets }
+
+// NumMechs returns the error-estimate bit length.
+func (c *Client) NumMechs() int { return c.numMechs }
+
+// PoolSize returns the server-side warm pool size.
+func (c *Client) PoolSize() int { return c.poolSize }
+
+// MaxBatch returns the largest batch Submit accepts for this session
+// (bounded so request and reply frames stay within the frame guard).
+func (c *Client) MaxBatch() int { return c.maxBatch }
+
+// Submit sends one batch of syndromes and returns immediately; the
+// syndromes are serialized before Submit returns, so callers may reuse the
+// vectors. Each syndrome must be NumDets bits long.
+func (c *Client) Submit(syndromes []gf2.Vec) (*Pending, error) {
+	if len(syndromes) == 0 || len(syndromes) > c.maxBatch {
+		return nil, fmt.Errorf("service: batch of %d syndromes (want 1..%d)", len(syndromes), c.maxBatch)
+	}
+	for i, v := range syndromes {
+		if v.Len() != c.numDets {
+			return nil, fmt.Errorf("service: syndrome %d has %d bits, session expects %d", i, v.Len(), c.numDets)
+		}
+	}
+	p := &Pending{done: make(chan struct{})}
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = p
+	c.mu.Unlock()
+
+	buf := appendBatchHeader(nil, id, len(syndromes))
+	for _, v := range syndromes {
+		buf = v.AppendBytes(buf)
+	}
+
+	c.sendMu.Lock()
+	err := writeFrame(c.bw, buf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return nil, err
+	}
+	return p, nil
+}
+
+// Decode is the synchronous round trip: Submit + Wait.
+func (c *Client) Decode(syndromes []gf2.Vec) ([]Response, error) {
+	p, err := c.Submit(syndromes)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// ErrVec unpacks a Response's estimate into a fresh vector of the
+// session's mechanism length.
+func (c *Client) ErrVec(r Response) (gf2.Vec, error) {
+	v := gf2.NewVec(c.numMechs)
+	if err := v.SetBytes(r.ErrHat); err != nil {
+		return gf2.Vec{}, err
+	}
+	return v, nil
+}
+
+// Close ends the session; outstanding Pendings fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(fmt.Errorf("service: session closed"))
+	return err
+}
+
+func (c *Client) recvLoop() {
+	for {
+		payload, err := readFrame(c.br, c.maxFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("service: session lost: %w", err))
+			return
+		}
+		switch payload[0] {
+		case msgBatchReply:
+			id, resps, err := parseBatchReply(payload, (c.numMechs+7)/8)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			p := c.pending[id]
+			delete(c.pending, id)
+			c.mu.Unlock()
+			if p == nil {
+				c.fail(fmt.Errorf("service: reply for unknown batch %d", id))
+				return
+			}
+			p.resps = resps
+			close(p.done)
+		case msgError:
+			c.fail(fmt.Errorf("service: server error: %s", parseErrorBody(payload)))
+			return
+		default:
+			c.fail(fmt.Errorf("service: unexpected message type %d", payload[0]))
+			return
+		}
+	}
+}
+
+// fail records the session's terminal error and releases every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, p := range c.pending {
+		p.err = c.err
+		close(p.done)
+		delete(c.pending, id)
+	}
+}

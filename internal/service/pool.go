@@ -1,0 +1,195 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpsf/internal/dem"
+	"bpsf/internal/gf2"
+	"bpsf/internal/sim"
+)
+
+// request is one admitted syndrome decode. The syndrome vector is owned by
+// the request; resp points into the session's reply buffer and wg is the
+// batch's completion barrier.
+type request struct {
+	syndrome gf2.Vec
+	seed     int64
+	enqueued time.Time
+	deadline time.Duration
+	resp     *Response
+	wg       *sync.WaitGroup
+}
+
+type poolOptions struct {
+	size       int // warm decoders = worker goroutines
+	queueDepth int // bounded admission queue
+	maxBatch   int // coalescing cap
+}
+
+// pool serves one (code, rounds, p, spec) decode family: size warm
+// decoders, each owned by one worker goroutine, all fed from a single
+// bounded queue — the serve-loop shape of the paper's P-worker dispatch
+// (sim.ScheduleLatency), with real syndromes instead of modeled trials.
+//
+// Workers coalesce adaptively: a worker that pops one request also claims
+// up to maxBatch−1 more without blocking, scaled to the current backlog, so
+// a deep queue is drained in large sweeps (amortizing queue handoffs and
+// letting expired requests shed in bulk) while an idle service decodes
+// singles at minimum latency.
+type pool struct {
+	key  string
+	dem  *dem.DEM
+	opts poolOptions
+
+	queue   chan *request
+	workers sync.WaitGroup
+	closed  sync.Once
+
+	lat          histogram
+	decoded      atomic.Uint64
+	shedQueue    atomic.Uint64
+	shedDeadline atomic.Uint64
+	batches      atomic.Uint64
+	coalesced    atomic.Uint64
+}
+
+// PoolStats is one pool's cumulative service report.
+type PoolStats struct {
+	// Pool is the pool key: code/rounds/p/spec.
+	Pool string
+	// Size is the number of warm decoders.
+	Size int
+	// Decoded counts completed decodes; ShedQueue and ShedDeadline count
+	// requests dropped on admission overflow and on queue-deadline expiry.
+	Decoded, ShedQueue, ShedDeadline uint64
+	// AvgBatch is the mean coalesced batch size claimed by workers.
+	AvgBatch float64
+	// Latency is the service-time histogram (queue wait + decode).
+	Latency HistogramSnapshot
+}
+
+// newPool builds the warm decoder set up front — every worker owns a fully
+// constructed decoder (mk is called size times) before the first request
+// is admitted — and starts the workers.
+func newPool(key string, d *dem.DEM, mk func() (sim.Decoder, error), opts poolOptions) (*pool, error) {
+	p := &pool{
+		key:   key,
+		dem:   d,
+		opts:  opts,
+		queue: make(chan *request, opts.queueDepth),
+	}
+	decs := make([]sim.Decoder, opts.size)
+	for i := range decs {
+		dec, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		decs[i] = dec
+	}
+	for _, dec := range decs {
+		p.workers.Add(1)
+		go p.worker(dec)
+	}
+	return p, nil
+}
+
+// submit admits one request. Sessions without a deadline get backpressure
+// (the enqueue blocks, which stalls that session's read loop and
+// ultimately its TCP stream); sessions with a deadline are admitted
+// non-blocking and shed immediately when the queue is full.
+func (p *pool) submit(r *request) {
+	if r.deadline > 0 {
+		select {
+		case p.queue <- r:
+		default:
+			r.resp.Shed = true
+			p.shedQueue.Add(1)
+			r.wg.Done()
+		}
+		return
+	}
+	p.queue <- r
+}
+
+func (p *pool) worker(dec sim.Decoder) {
+	defer p.workers.Done()
+	batch := make([]*request, 0, p.opts.maxBatch)
+	for first := range p.queue {
+		batch = p.coalesce(batch[:0], first)
+		p.batches.Add(1)
+		p.coalesced.Add(uint64(len(batch)))
+		for _, r := range batch {
+			p.serve(dec, r)
+		}
+	}
+}
+
+// coalesce claims the batch for one worker pass: the blocking first
+// request plus, without blocking, up to target−1 more, where the target
+// grows with the queue backlog observed at claim time (capped at
+// maxBatch).
+func (p *pool) coalesce(batch []*request, first *request) []*request {
+	batch = append(batch, first)
+	target := 1 + len(p.queue)
+	if target > p.opts.maxBatch {
+		target = p.opts.maxBatch
+	}
+	for len(batch) < target {
+		select {
+		case r, ok := <-p.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (p *pool) serve(dec sim.Decoder, r *request) {
+	wait := time.Since(r.enqueued)
+	if r.deadline > 0 && wait > r.deadline {
+		r.resp.Shed = true
+		p.shedDeadline.Add(1)
+		r.wg.Done()
+		return
+	}
+	sim.Reseed(dec, r.seed)
+	t0 := time.Now()
+	out := dec.Decode(r.syndrome)
+	r.resp.Success = out.Success
+	r.resp.Iterations = out.Iterations
+	r.resp.FlipCount = out.ErrHat.Weight()
+	r.resp.ErrHat = out.ErrHat.AppendBytes(r.resp.ErrHat[:0])
+	r.resp.Latency = wait + time.Since(t0)
+	p.lat.observe(r.resp.Latency)
+	p.decoded.Add(1)
+	r.wg.Done()
+}
+
+// close stops the pool after the last session has exited: workers drain
+// every queued request (no admitted work is dropped by shutdown) and then
+// terminate.
+func (p *pool) close() {
+	p.closed.Do(func() { close(p.queue) })
+	p.workers.Wait()
+}
+
+func (p *pool) stats() PoolStats {
+	st := PoolStats{
+		Pool:         p.key,
+		Size:         p.opts.size,
+		Decoded:      p.decoded.Load(),
+		ShedQueue:    p.shedQueue.Load(),
+		ShedDeadline: p.shedDeadline.Load(),
+		Latency:      p.lat.snapshot(),
+	}
+	if b := p.batches.Load(); b > 0 {
+		st.AvgBatch = float64(p.coalesced.Load()) / float64(b)
+	}
+	return st
+}

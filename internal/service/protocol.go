@@ -1,0 +1,407 @@
+// Package service is the real-time decode plane: a streaming syndrome
+// server and client speaking a length-prefixed binary protocol over TCP.
+//
+// A session opens with a Hello naming a catalog code, a round count, a
+// physical error rate and a decoder Spec; the server answers with the
+// session's vector geometry and from then on the client streams framed
+// syndrome batches and receives framed per-syndrome responses
+// (error estimate, flip count, iteration count, service latency).
+// Sessions draw decoders from per-(code, rounds, p, spec) warm pools with
+// a bounded admission queue, adaptive batch coalescing and deadline-based
+// load shedding; see DESIGN.md §5 for the wire format, the pool/queue
+// semantics and the per-session determinism contract.
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Wire constants (DESIGN.md §5). Every frame is a little-endian uint32
+// payload length followed by the payload; payload[0] is the message type.
+const (
+	protocolMagic   = 0x42505346 // "BPSF"
+	protocolVersion = 1
+
+	msgHello      = 1
+	msgHelloAck   = 2
+	msgBatch      = 3
+	msgBatchReply = 4
+	msgError      = 5
+
+	// Response flags.
+	flagSuccess = 1 << 0
+	flagShed    = 1 << 1
+
+	// defaultMaxFrame bounds a single frame (16 MiB ≈ 4k syndromes of the
+	// largest catalog DEM) so a corrupt length prefix cannot OOM the peer.
+	defaultMaxFrame = 16 << 20
+
+	// frameHeaderLen is the length-prefix size.
+	frameHeaderLen = 4
+)
+
+// Hello opens a session: it selects the decode pool and fixes the
+// session's determinism and shedding parameters.
+type Hello struct {
+	// Code is the catalog code name ("bb144", ...).
+	Code string
+	// Rounds is the syndrome-extraction round count (0 = code default).
+	Rounds int
+	// P is the physical error rate the decoder priors are derived from.
+	P float64
+	// StreamSeed fixes the session's decoder randomness: request i is
+	// decoded under RequestSeed(StreamSeed, i), so replaying a syndrome
+	// stream with the same seed reproduces every response byte.
+	StreamSeed int64
+	// Deadline is the maximum queue wait before a request is shed
+	// (0 = never shed; the session gets backpressure instead).
+	Deadline time.Duration
+	// Spec selects the decoder family and parameters.
+	Spec Spec
+}
+
+// helloAck is the server's session acceptance.
+type helloAck struct {
+	sessionID uint64
+	numDets   uint32 // syndrome bit length
+	numMechs  uint32 // error-estimate bit length
+	poolSize  uint16
+}
+
+// Response is one syndrome's decode report.
+type Response struct {
+	// Success is true when the decoder satisfied the syndrome.
+	Success bool
+	// Shed is true when the request was dropped by admission control
+	// (queue overflow or queue-deadline expiry); no decode ran.
+	Shed bool
+	// Iterations is the serial-accounting BP iteration count.
+	Iterations int
+	// FlipCount is the Hamming weight of the error estimate.
+	FlipCount int
+	// Latency is the server-side service time (queue wait + decode).
+	Latency time.Duration
+	// ErrHat is the packed error estimate (gf2.Vec.AppendBytes layout,
+	// numMechs bits); zero bytes when Shed.
+	ErrHat []byte
+}
+
+// ---- frame IO ----
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("service: empty frame")
+	}
+	if int64(n) > int64(maxFrame) {
+		return nil, fmt.Errorf("service: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ---- payload encoding ----
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return appendU64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+// reader walks a payload with sticky error handling; every accessor
+// returns a zero value once the payload is exhausted.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) []byte {
+	if r.err != nil || r.off+n > len(r.b) {
+		if r.err == nil {
+			r.err = fmt.Errorf("service: truncated payload (want %d bytes at offset %d of %d)", n, r.off, len(r.b))
+		}
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	if b := r.need(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *reader) u16() uint16 {
+	if b := r.need(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if b := r.need(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if b := r.need(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) bytes(n int) []byte {
+	return r.need(n)
+}
+
+func (r *reader) rest() int { return len(r.b) - r.off }
+
+// ---- hello ----
+
+func appendHello(b []byte, h Hello) ([]byte, error) {
+	kind, err := h.Spec.kindByte()
+	if err != nil {
+		return nil, err
+	}
+	if len(h.Code) > 255 {
+		return nil, fmt.Errorf("service: code name too long")
+	}
+	b = append(b, msgHello)
+	b = appendU32(b, protocolMagic)
+	b = append(b, protocolVersion)
+	b = append(b, byte(len(h.Code)))
+	b = append(b, h.Code...)
+	b = appendU16(b, uint16(h.Rounds))
+	b = appendF64(b, h.P)
+	b = appendI64(b, h.StreamSeed)
+	b = appendI64(b, int64(h.Deadline))
+	b = append(b, kind)
+	b = appendU32(b, uint32(h.Spec.BPIters))
+	b = appendU16(b, uint16(h.Spec.OSDOrder))
+	b = appendU16(b, uint16(h.Spec.Phi))
+	b = appendU16(b, uint16(h.Spec.WMax))
+	b = appendU16(b, uint16(h.Spec.NS))
+	layered := byte(0)
+	if h.Spec.Layered {
+		layered = 1
+	}
+	b = append(b, layered)
+	return b, nil
+}
+
+func parseHello(payload []byte) (Hello, error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgHello {
+		return Hello{}, fmt.Errorf("service: expected Hello, got message type %d", t)
+	}
+	if magic := r.u32(); r.err == nil && magic != protocolMagic {
+		return Hello{}, fmt.Errorf("service: bad magic %#x", magic)
+	}
+	if v := r.u8(); r.err == nil && v != protocolVersion {
+		return Hello{}, fmt.Errorf("service: protocol version %d, want %d", v, protocolVersion)
+	}
+	nameLen := int(r.u8())
+	name := r.bytes(nameLen)
+	var h Hello
+	h.Code = string(name)
+	h.Rounds = int(r.u16())
+	h.P = r.f64()
+	h.StreamSeed = r.i64()
+	h.Deadline = time.Duration(r.i64())
+	kind := r.u8()
+	h.Spec.BPIters = int(r.u32())
+	h.Spec.OSDOrder = int(r.u16())
+	h.Spec.Phi = int(r.u16())
+	h.Spec.WMax = int(r.u16())
+	h.Spec.NS = int(r.u16())
+	h.Spec.Layered = r.u8() == 1
+	if r.err != nil {
+		return Hello{}, r.err
+	}
+	if err := h.Spec.setKindFromByte(kind); err != nil {
+		return Hello{}, err
+	}
+	return h, nil
+}
+
+// ---- hello ack ----
+
+func appendHelloAck(b []byte, a helloAck) []byte {
+	b = append(b, msgHelloAck)
+	b = appendU64(b, a.sessionID)
+	b = appendU32(b, a.numDets)
+	b = appendU32(b, a.numMechs)
+	b = appendU16(b, a.poolSize)
+	return b
+}
+
+func parseHelloAck(payload []byte) (helloAck, error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgHelloAck {
+		if t == msgError {
+			return helloAck{}, fmt.Errorf("service: server rejected session: %s", parseErrorBody(payload))
+		}
+		return helloAck{}, fmt.Errorf("service: expected HelloAck, got message type %d", t)
+	}
+	a := helloAck{
+		sessionID: r.u64(),
+		numDets:   r.u32(),
+		numMechs:  r.u32(),
+		poolSize:  r.u16(),
+	}
+	return a, r.err
+}
+
+// ---- error ----
+
+func appendError(b []byte, msg string) []byte {
+	b = append(b, msgError)
+	if len(msg) > 65535 {
+		msg = msg[:65535]
+	}
+	b = appendU16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// parseErrorBody extracts the message of an msgError payload (best effort).
+func parseErrorBody(payload []byte) string {
+	r := &reader{b: payload}
+	if r.u8() != msgError {
+		return "malformed error frame"
+	}
+	n := int(r.u16())
+	body := r.bytes(n)
+	if r.err != nil {
+		return "malformed error frame"
+	}
+	return string(body)
+}
+
+// ---- batches ----
+
+// batchHeaderLen is type + batchID + count.
+const batchHeaderLen = 1 + 8 + 2
+
+// appendBatchHeader starts a Batch frame; the caller appends count packed
+// syndromes of detBytes each.
+func appendBatchHeader(b []byte, batchID uint64, count int) []byte {
+	b = append(b, msgBatch)
+	b = appendU64(b, batchID)
+	b = appendU16(b, uint16(count))
+	return b
+}
+
+// parseBatch splits a Batch payload into its syndrome byte slices (views
+// into payload).
+func parseBatch(payload []byte, detBytes int) (batchID uint64, syndromes [][]byte, err error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgBatch {
+		return 0, nil, fmt.Errorf("service: expected Batch, got message type %d", t)
+	}
+	batchID = r.u64()
+	count := int(r.u16())
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if got := r.rest(); got != count*detBytes {
+		return 0, nil, fmt.Errorf("service: batch of %d syndromes carries %d bytes, want %d", count, got, count*detBytes)
+	}
+	syndromes = make([][]byte, count)
+	for i := range syndromes {
+		syndromes[i] = r.bytes(detBytes)
+	}
+	return batchID, syndromes, r.err
+}
+
+// replyItemFixedLen is the per-response fixed part: flags + iters +
+// flipCount + latency.
+const replyItemFixedLen = 1 + 4 + 4 + 8
+
+func appendBatchReplyHeader(b []byte, batchID uint64, count int) []byte {
+	b = append(b, msgBatchReply)
+	b = appendU64(b, batchID)
+	b = appendU16(b, uint16(count))
+	return b
+}
+
+// appendResponse serializes one Response with a mechBytes-wide estimate.
+func appendResponse(b []byte, resp *Response, mechBytes int) []byte {
+	var flags byte
+	if resp.Success {
+		flags |= flagSuccess
+	}
+	if resp.Shed {
+		flags |= flagShed
+	}
+	b = append(b, flags)
+	b = appendU32(b, uint32(resp.Iterations))
+	b = appendU32(b, uint32(resp.FlipCount))
+	b = appendI64(b, int64(resp.Latency))
+	if len(resp.ErrHat) == mechBytes {
+		b = append(b, resp.ErrHat...)
+	} else {
+		// shed responses carry a zero estimate to keep the frame layout fixed
+		for i := 0; i < mechBytes; i++ {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func parseBatchReply(payload []byte, mechBytes int) (batchID uint64, resps []Response, err error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgBatchReply {
+		return 0, nil, fmt.Errorf("service: expected BatchReply, got message type %d", t)
+	}
+	batchID = r.u64()
+	count := int(r.u16())
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if got := r.rest(); got != count*(replyItemFixedLen+mechBytes) {
+		return 0, nil, fmt.Errorf("service: reply of %d responses carries %d bytes, want %d",
+			count, got, count*(replyItemFixedLen+mechBytes))
+	}
+	resps = make([]Response, count)
+	for i := range resps {
+		flags := r.u8()
+		resps[i].Success = flags&flagSuccess != 0
+		resps[i].Shed = flags&flagShed != 0
+		resps[i].Iterations = int(r.u32())
+		resps[i].FlipCount = int(r.u32())
+		resps[i].Latency = time.Duration(r.i64())
+		resps[i].ErrHat = append([]byte(nil), r.bytes(mechBytes)...)
+	}
+	return batchID, resps, r.err
+}

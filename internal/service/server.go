@@ -1,0 +1,397 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/dem"
+	"bpsf/internal/gf2"
+	"bpsf/internal/memexp"
+	"bpsf/internal/sim"
+)
+
+// Options configures a Server. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// PoolSize is the number of warm decoders (= worker goroutines) per
+	// pool (default runtime.NumCPU()).
+	PoolSize int
+	// QueueDepth bounds each pool's admission queue (default 1024).
+	QueueDepth int
+	// MaxBatch caps adaptive batch coalescing (default 32).
+	MaxBatch int
+	// MaxFrame bounds one wire frame (default 16 MiB).
+	MaxFrame int
+	// Pipeline bounds the reply backlog per session: a client may have at
+	// most this many unanswered batches in flight before its read loop
+	// stalls (default 64).
+	Pipeline int
+	// Logf receives serve-loop diagnostics (nil = silent).
+	Logf func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = runtime.NumCPU()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = defaultMaxFrame
+	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 64
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// demEntry / poolEntry are singleflight cache slots: concurrent sessions
+// asking for the same DEM or pool block on one build.
+type demEntry struct {
+	once sync.Once
+	d    *dem.DEM
+	err  error
+}
+
+type poolEntry struct {
+	once sync.Once
+	p    *pool
+	err  error
+}
+
+// Server is the streaming decode service. Create with NewServer, start
+// with Listen, stop with Drain.
+type Server struct {
+	opts Options
+
+	ln          net.Listener
+	pools       sync.Map // pool key → *poolEntry
+	dems        sync.Map // code/rounds → *demEntry
+	sessions    sync.WaitGroup
+	nextSession atomic.Uint64
+	draining    atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer builds a server; pools are created lazily on the first Hello
+// naming them.
+func NewServer(opts Options) *Server {
+	return &Server{opts: opts.withDefaults(), conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr ("host:port"; port 0 picks a free port, see Addr) and
+// starts accepting sessions in the background.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.sessions.Add(1) // the accept loop itself
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.sessions.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (Drain)
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.sessions.Add(1)
+		go s.session(conn)
+	}
+}
+
+// Drain is the graceful shutdown: stop accepting, wait up to grace for
+// live sessions to finish, force-close stragglers, then stop every pool —
+// pool workers complete all admitted work before exiting. Returns the
+// final per-pool stats.
+func (s *Server) Drain(grace time.Duration) []PoolStats {
+	if s.draining.CompareAndSwap(false, true) {
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		done := make(chan struct{})
+		go func() {
+			s.sessions.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(grace):
+			s.opts.Logf("drain: grace expired, closing %d live connections", s.connCount())
+			s.closeConns()
+			<-done
+		}
+		s.pools.Range(func(_, v interface{}) bool {
+			if e := v.(*poolEntry); e.p != nil {
+				e.p.close()
+			}
+			return true
+		})
+	}
+	return s.Stats()
+}
+
+func (s *Server) connCount() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Stats snapshots every pool.
+func (s *Server) Stats() []PoolStats {
+	var out []PoolStats
+	s.pools.Range(func(_, v interface{}) bool {
+		if e := v.(*poolEntry); e.p != nil {
+			out = append(out, e.p.stats())
+		}
+		return true
+	})
+	return out
+}
+
+// demFor builds (or reuses) the memory-experiment DEM for code/rounds.
+func (s *Server) demFor(codeName string, rounds int) (*dem.DEM, error) {
+	key := fmt.Sprintf("%s/%d", codeName, rounds)
+	v, _ := s.dems.LoadOrStore(key, &demEntry{})
+	e := v.(*demEntry)
+	e.once.Do(func() {
+		css, err := codes.Get(codeName)
+		if err != nil {
+			e.err = err
+			return
+		}
+		circ, err := memexp.Build(css, rounds, memexp.Uniform())
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.d, e.err = dem.Extract(circ)
+	})
+	return e.d, e.err
+}
+
+func poolKey(h Hello) string {
+	return fmt.Sprintf("%s/r%d/p%g/%s", h.Code, h.Rounds, h.P, h.Spec)
+}
+
+// poolFor resolves a Hello to its warm pool, building the DEM and the
+// decoders on first use (subsequent sessions share them).
+func (s *Server) poolFor(h Hello) (*pool, error) {
+	key := poolKey(h)
+	v, _ := s.pools.LoadOrStore(key, &poolEntry{})
+	e := v.(*poolEntry)
+	e.once.Do(func() {
+		d, err := s.demFor(h.Code, h.Rounds)
+		if err != nil {
+			e.err = err
+			return
+		}
+		priors := d.Priors(h.P)
+		mk := func() (sim.Decoder, error) { return h.Spec.NewDecoder(d.H, priors) }
+		e.p, e.err = newPool(key, d, mk, poolOptions{
+			size:       s.opts.PoolSize,
+			queueDepth: s.opts.QueueDepth,
+			maxBatch:   s.opts.MaxBatch,
+		})
+		if e.err == nil {
+			s.opts.Logf("pool %s: %d warm decoders ready", key, s.opts.PoolSize)
+		}
+	})
+	return e.p, e.err
+}
+
+// validateHello normalizes and checks a Hello (shared with the client so
+// bad sessions fail before dialing).
+func validateHello(h Hello) (Hello, error) {
+	entry, ok := codes.Catalog()[h.Code]
+	if !ok {
+		return h, fmt.Errorf("service: unknown code %q (known: %v)", h.Code, codes.Names())
+	}
+	if h.Rounds == 0 {
+		h.Rounds = entry.Rounds
+	}
+	if h.Rounds < 1 || h.Rounds > 65535 {
+		return h, fmt.Errorf("service: rounds %d out of range [1, 65535]", h.Rounds)
+	}
+	if h.P <= 0 || h.P >= 1 {
+		return h, fmt.Errorf("service: physical error rate %g out of (0,1)", h.P)
+	}
+	if h.Deadline < 0 {
+		return h, fmt.Errorf("service: negative deadline")
+	}
+	return h, h.Spec.Validate()
+}
+
+// batchJob is one batch's in-flight state: the responses under fill by
+// pool workers and the barrier the reply writer waits on.
+type batchJob struct {
+	id    uint64
+	wg    sync.WaitGroup
+	resps []Response
+}
+
+func (s *Server) session(conn net.Conn) {
+	defer s.sessions.Done()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	// writeMu serializes frame writes: the reply-writer goroutine and the
+	// read loop's error path share the connection
+	var writeMu sync.Mutex
+	writeOut := func(payload []byte) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if err := writeFrame(bw, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	fail := func(err error) {
+		writeOut(appendError(nil, err.Error()))
+		s.opts.Logf("session %s: %v", conn.RemoteAddr(), err)
+	}
+
+	payload, err := readFrame(br, s.opts.MaxFrame)
+	if err != nil {
+		s.opts.Logf("session %s: hello read: %v", conn.RemoteAddr(), err)
+		return
+	}
+	h, err := parseHello(payload)
+	if err == nil {
+		h, err = validateHello(h)
+	}
+	if err != nil {
+		fail(err)
+		return
+	}
+	p, err := s.poolFor(h)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	id := s.nextSession.Add(1)
+	detBytes := (p.dem.NumDets + 7) / 8
+	mechBytes := (p.dem.NumMechs() + 7) / 8
+	ack := helloAck{
+		sessionID: id,
+		numDets:   uint32(p.dem.NumDets),
+		numMechs:  uint32(p.dem.NumMechs()),
+		poolSize:  uint16(p.opts.size),
+	}
+	if err := writeOut(appendHelloAck(nil, ack)); err != nil {
+		return
+	}
+
+	// Reply writer: batches complete out of order across pool workers, but
+	// replies go back in submission order — the channel is the order, the
+	// WaitGroup the completion barrier. Its capacity bounds the session's
+	// pipelining.
+	jobs := make(chan *batchJob, s.opts.Pipeline)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		var writeErr error
+		buf := make([]byte, 0, batchHeaderLen)
+		for job := range jobs {
+			job.wg.Wait()
+			if writeErr != nil {
+				continue // connection is gone; keep draining barriers
+			}
+			buf = appendBatchReplyHeader(buf[:0], job.id, len(job.resps))
+			for i := range job.resps {
+				buf = appendResponse(buf, &job.resps[i], mechBytes)
+			}
+			writeErr = writeOut(buf)
+		}
+	}()
+
+	// Read loop: frames arrive in stream order, so the per-session request
+	// index — and with it every RequestSeed — is a pure function of the
+	// syndrome stream.
+	reqIndex := 0
+	maxBatch := batchLimit(s.opts.MaxFrame, p.dem.NumDets, p.dem.NumMechs())
+	for {
+		payload, err := readFrame(br, s.opts.MaxFrame)
+		if err != nil {
+			break // EOF = client done; anything else ends the session too
+		}
+		batchID, syndromes, perr := parseBatch(payload, detBytes)
+		if perr == nil && len(syndromes) > maxBatch {
+			perr = fmt.Errorf("service: batch of %d syndromes exceeds session limit %d (reply would overflow the frame guard)",
+				len(syndromes), maxBatch)
+		}
+		if perr != nil {
+			fail(perr)
+			break
+		}
+		job := &batchJob{id: batchID, resps: make([]Response, len(syndromes))}
+		job.wg.Add(len(syndromes))
+		jobs <- job // reserve the reply slot before admission
+		now := time.Now()
+		for i, raw := range syndromes {
+			vec := gf2.NewVec(p.dem.NumDets)
+			if err := vec.SetBytes(raw); err != nil {
+				// parseBatch already checked lengths; defensive only
+				job.wg.Done()
+				continue
+			}
+			p.submit(&request{
+				syndrome: vec,
+				seed:     RequestSeed(h.StreamSeed, reqIndex),
+				enqueued: now,
+				deadline: h.Deadline,
+				resp:     &job.resps[i],
+				wg:       &job.wg,
+			})
+			reqIndex++
+		}
+	}
+	close(jobs)
+	writerWG.Wait()
+}

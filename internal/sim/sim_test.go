@@ -43,15 +43,15 @@ func TestLERPerRound(t *testing.T) {
 
 func TestSummaries(t *testing.T) {
 	ds := []time.Duration{5, 1, 3, 2, 4}
-	st := SummarizeDurations(ds)
-	if st.Min != 1 || st.Max != 5 || st.Median != 3 || st.Avg != 3 {
+	st := Summarize(ds)
+	if st.Min != 1 || st.Max != 5 || st.P50 != 3 || st.Avg != 3 {
 		t.Fatalf("duration stats wrong: %+v", st)
 	}
 	is := SummarizeInts([]int{10, 30, 20})
 	if is.Min != 10 || is.Max != 30 || is.Median != 20 || is.Avg != 20 {
 		t.Fatalf("int stats wrong: %+v", is)
 	}
-	if SummarizeInts(nil).N != 0 || SummarizeDurations(nil).N != 0 {
+	if SummarizeInts(nil).N != 0 || Summarize(nil).N != 0 {
 		t.Fatal("empty summaries should be zero")
 	}
 }

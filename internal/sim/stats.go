@@ -46,36 +46,57 @@ func LERPerRound(ler float64, rounds int) float64 {
 	return 1 - math.Pow(1-ler, 1/float64(rounds))
 }
 
-// DurationStats summarizes a sample of decode times.
-type DurationStats struct {
-	N                     int
-	Min, Median, Max, Avg time.Duration
-	P90, P99              time.Duration
+// pickSorted returns the q-quantile of an already-sorted sample by the
+// nearest-rank rule the harness has always used: index ⌊q·(n−1)⌋.
+func pickSorted(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(ds)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ds) {
+		i = len(ds) - 1
+	}
+	return ds[i]
 }
 
-// SummarizeDurations computes order statistics of ds (ds is sorted in
-// place).
-func SummarizeDurations(ds []time.Duration) DurationStats {
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of ds by nearest rank;
+// ds is sorted in place.
+func Percentile(ds []time.Duration, q float64) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return pickSorted(ds, q)
+}
+
+// Summary is the tail-latency fingerprint reported by the decode service
+// and the load generator: throughput-relevant percentiles of one duration
+// sample.
+type Summary struct {
+	N                   int
+	Min, Max, Avg       time.Duration
+	P50, P95, P99, P999 time.Duration
+}
+
+// Summarize computes a Summary of ds (ds is sorted in place).
+func Summarize(ds []time.Duration) Summary {
 	if len(ds) == 0 {
-		return DurationStats{}
+		return Summary{}
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	var total time.Duration
 	for _, d := range ds {
 		total += d
 	}
-	pick := func(q float64) time.Duration {
-		i := int(q * float64(len(ds)-1))
-		return ds[i]
-	}
-	return DurationStats{
-		N:      len(ds),
-		Min:    ds[0],
-		Median: pick(0.5),
-		Max:    ds[len(ds)-1],
-		Avg:    total / time.Duration(len(ds)),
-		P90:    pick(0.9),
-		P99:    pick(0.99),
+	return Summary{
+		N:    len(ds),
+		Min:  ds[0],
+		Max:  ds[len(ds)-1],
+		Avg:  total / time.Duration(len(ds)),
+		P50:  pickSorted(ds, 0.5),
+		P95:  pickSorted(ds, 0.95),
+		P99:  pickSorted(ds, 0.99),
+		P999: pickSorted(ds, 0.999),
 	}
 }
 

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Millisecond // 1..100 ms
+	}
+	// shuffle: Percentile must sort
+	r := rand.New(rand.NewSource(1))
+	r.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.5, 50 * time.Millisecond},  // index ⌊0.5·99⌋ = 49
+		{0.95, 95 * time.Millisecond}, // index 94
+		{0.99, 99 * time.Millisecond},
+		{0.999, 99 * time.Millisecond}, // ⌊0.999·99⌋ = 98
+		{1, 100 * time.Millisecond},
+	} {
+		if got := Percentile(ds, tc.q); got != tc.want {
+			t.Errorf("Percentile(%g) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty sample should yield 0")
+	}
+	one := []time.Duration{7 * time.Microsecond}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if Percentile(one, q) != 7*time.Microsecond {
+			t.Fatalf("single sample quantile %g wrong", q)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := make([]time.Duration, 1000)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Microsecond
+	}
+	st := Summarize(ds)
+	if st.N != 1000 || st.Min != time.Microsecond || st.Max != 1000*time.Microsecond {
+		t.Fatalf("bounds wrong: %+v", st)
+	}
+	if st.Avg != 500*time.Microsecond+500*time.Nanosecond {
+		t.Fatalf("avg = %v", st.Avg)
+	}
+	if st.P50 != 500*time.Microsecond { // index ⌊0.5·999⌋ = 499
+		t.Fatalf("p50 = %v", st.P50)
+	}
+	if st.P95 != 950*time.Microsecond || st.P99 != 990*time.Microsecond {
+		t.Fatalf("p95/p99 = %v/%v", st.P95, st.P99)
+	}
+	if st.P999 != 999*time.Microsecond { // index ⌊0.999·999⌋ = 998
+		t.Fatalf("p999 = %v", st.P999)
+	}
+	if (Summary{}) != Summarize(nil) {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestSummarizeAgreesWithPercentile(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ds := make([]time.Duration, 513)
+	for i := range ds {
+		ds[i] = time.Duration(r.Intn(1e6)) * time.Nanosecond
+	}
+	st := Summarize(append([]time.Duration(nil), ds...))
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, st.P50}, {0.95, st.P95}, {0.99, st.P99}, {0.999, st.P999}} {
+		if got := Percentile(append([]time.Duration(nil), ds...), tc.q); got != tc.want {
+			t.Fatalf("Percentile(%g) = %v, Summarize says %v", tc.q, got, tc.want)
+		}
+	}
+}
