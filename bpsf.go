@@ -39,6 +39,7 @@ import (
 	"bpsf/internal/service"
 	"bpsf/internal/sim"
 	"bpsf/internal/sparse"
+	"bpsf/internal/uf"
 )
 
 // Core value types.
@@ -87,9 +88,10 @@ const (
 	OSDCS = osd.OSDCS
 )
 
-// NewCode builds one of the paper's evaluated codes by catalog name:
+// NewCode builds one of the evaluated codes by catalog name: the paper's
 // "bb72", "bb144", "bb288", "coprime126", "coprime154", "gb254",
-// "shyps225".
+// "shyps225", plus the matchable surface family "rsurf3", "rsurf5",
+// "toric4".
 func NewCode(name string) (*Code, error) { return codes.Get(name) }
 
 // CodeNames lists the catalog names.
@@ -108,6 +110,15 @@ func DefaultRounds(name string) int {
 // product of repetition codes) — not part of the paper's evaluation but a
 // convenient small test target.
 func Surface(d int) (*Code, error) { return codes.Surface(d) }
+
+// RotatedSurface returns the distance-d rotated surface code Jd²,1,dK
+// (odd d ≥ 3) — the matchable-code workload of the union-find decoder.
+// Catalog names "rsurf3" and "rsurf5" select the evaluated instances.
+func RotatedSurface(d int) (*Code, error) { return codes.RotatedSurface(d) }
+
+// Toric returns the L×L toric code J2L²,2,LK (catalog name "toric4" for
+// L = 4): matchable with no boundary.
+func Toric(l int) (*Code, error) { return codes.Toric(l) }
 
 // UniformPriors returns an n-vector of identical per-bit error priors.
 func UniformPriors(n int, p float64) []float64 { return noise.UniformPriors(n, p) }
@@ -143,6 +154,25 @@ func NewBPSFDecoder(h *Matrix, priors []float64, cfg BPSFConfig) (Decoder, error
 func NewBPSFRaw(h *Matrix, priors []float64, cfg BPSFConfig) (*bpsfcore.Decoder, error) {
 	return bpsfcore.New(h, priors, cfg)
 }
+
+// NewUFDecoder builds the deterministic union-find decoder (DESIGN.md §6):
+// spanning-tree peeling on matchable check matrices (every column of
+// weight ≤ 2, e.g. surface and toric codes), cluster-local GF(2)
+// elimination on general ones. It uses no priors and holds no randomness.
+func NewUFDecoder(h *Matrix) Decoder { return sim.NewUF(h) }
+
+// NewUFRaw builds a union-find decoder exposing the full uf.Result
+// (growth rounds, cluster count, extraction path) instead of the harness
+// Outcome.
+func NewUFRaw(h *Matrix) *uf.Decoder { return uf.New(h) }
+
+// UFResult is the detailed union-find decode report.
+type UFResult = uf.Result
+
+// DecoderNames lists the registered decoder constructor names ("bp",
+// "bposd", "bpsf", "uf") — the -decoder vocabulary of the CLIs and the
+// decode service.
+func DecoderNames() []string { return sim.DecoderNames() }
 
 // BuildMemoryDEM generates the d-round Z-basis memory experiment for a code
 // under the paper's uniform circuit-level noise model and extracts its

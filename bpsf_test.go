@@ -6,8 +6,8 @@ import (
 
 func TestFacadeCodeCatalog(t *testing.T) {
 	names := CodeNames()
-	if len(names) != 7 {
-		t.Fatalf("catalog has %d codes, want 7", len(names))
+	if len(names) != 10 {
+		t.Fatalf("catalog has %d codes, want 10", len(names))
 	}
 	for _, n := range names {
 		c, err := NewCode(n)

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	bpsf-dem -code bb144 [-rounds 12] [-p 0.003] [-seed 1] [-shots 200]
+//	bpsf-dem -code rsurf3 -decoder uf        # decode the sampled shots too
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"bpsf/internal/codes"
 	"bpsf/internal/dem"
 	"bpsf/internal/memexp"
+	"bpsf/internal/sim"
 )
 
 func main() {
@@ -30,7 +32,19 @@ func main() {
 	p := flag.Float64("p", 0.003, "physical error rate for the prior and shot summaries")
 	seed := flag.Int64("seed", 1, "sampler seed")
 	shots := flag.Int("shots", 200, "sampled shots for the empirical summary (0 = skip)")
+	decoder := flag.String("decoder", "",
+		"decode the sampled shots with a default-configured decoder and report convergence; one of "+
+			fmt.Sprint(sim.DecoderNames())+" (empty = skip)")
 	flag.Parse()
+
+	var mkDecoder sim.Factory
+	if *decoder != "" {
+		var ok bool
+		mkDecoder, ok = sim.Constructors()[*decoder]
+		if !ok {
+			log.Fatalf("unknown decoder %q (available: %v)", *decoder, sim.DecoderNames())
+		}
+	}
 
 	entry, ok := codes.Catalog()[*codeName]
 	if !ok {
@@ -88,8 +102,17 @@ func main() {
 	fmt.Printf("priors at p=%g: expected fired mechanisms per shot=%.2f\n", *p, sum)
 
 	if *shots > 0 {
+		var dec sim.Decoder
+		if mkDecoder != nil {
+			dec, err = mkDecoder(d.H, priors)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
 		sampler := dem.NewSampler(d, *p, *seed)
 		var mechs, synWeight, quiet int
+		var converged int
+		var decodeTime time.Duration
 		for i := 0; i < *shots; i++ {
 			syndrome, _ := sampler.SampleShared()
 			mechs += len(sampler.Mechs())
@@ -98,10 +121,25 @@ func main() {
 			if w == 0 {
 				quiet++
 			}
+			if dec != nil {
+				// the decode service's per-request seed derivation
+				// (service.RequestSeed), without linking the service
+				sim.Reseed(dec, sim.ShardSeed(*seed, i))
+				out := dec.Decode(syndrome)
+				if out.Success {
+					converged++
+				}
+				decodeTime += out.Time
+			}
 		}
 		n := float64(*shots)
 		fmt.Printf("sampled %d shots (seed %d): avg fired mechanisms=%.2f, avg syndrome weight=%.2f, zero-syndrome shots=%.1f%%\n",
 			*shots, *seed, float64(mechs)/n, float64(synWeight)/n, 100*float64(quiet)/n)
+		if dec != nil {
+			fmt.Printf("decoder %s: %d/%d syndromes satisfied (%.1f%%), avg decode %.4f ms\n",
+				dec.Name(), converged, *shots, 100*float64(converged)/n,
+				float64(decodeTime.Nanoseconds())/n/1e6)
+		}
 	}
 	os.Exit(0)
 }

@@ -34,7 +34,7 @@ func main() {
 	codeName := flag.String("code", "bb144", "code: "+fmt.Sprint(codes.Names()))
 	rounds := flag.Int("rounds", 0, "extraction rounds (0 = code default)")
 	p := flag.Float64("p", 0.003, "physical error rate")
-	decoder := flag.String("decoder", "bpsf", "decoder: bp | bposd | bpsf")
+	decoder := flag.String("decoder", "bpsf", "decoder: "+fmt.Sprint(service.SpecKinds()))
 	bpIters := flag.Int("bp-iters", 100, "BP iteration cap")
 	osdOrder := flag.Int("osd-order", 10, "OSD-CS order (bposd)")
 	phi := flag.Int("phi", 50, "BP-SF candidate set size |Φ|")

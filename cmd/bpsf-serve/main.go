@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,20 +35,26 @@ func main() {
 	poolSize := flag.Int("pool-size", runtime.NumCPU(), "warm decoders per pool")
 	queueDepth := flag.Int("queue-depth", 1024, "admission queue bound per pool")
 	maxBatch := flag.Int("max-batch", 32, "adaptive coalescing cap")
+	decoders := flag.String("decoders", "", "served decoder kinds, comma-separated (empty = all of "+fmt.Sprint(service.SpecKinds())+")")
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "session grace period on shutdown")
 	statsEvery := flag.Duration("stats", 0, "periodic stats interval (0 = only on exit)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 	flag.Parse()
 
+	allowed, err := parseDecoderKinds(*decoders)
+	if err != nil {
+		log.Fatal(err)
+	}
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...interface{}) {}
 	}
 	srv := service.NewServer(service.Options{
-		PoolSize:   *poolSize,
-		QueueDepth: *queueDepth,
-		MaxBatch:   *maxBatch,
-		Logf:       logf,
+		PoolSize:     *poolSize,
+		QueueDepth:   *queueDepth,
+		MaxBatch:     *maxBatch,
+		AllowedKinds: allowed,
+		Logf:         logf,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
@@ -71,6 +78,31 @@ func main() {
 	log.Printf("%v: draining (grace %v)", sig, *drainGrace)
 	stats := srv.Drain(*drainGrace)
 	printStats(stats)
+}
+
+// parseDecoderKinds resolves the -decoders allowlist: a comma-separated
+// subset of the registered kinds, or empty for all. Unknown names error
+// with the available set (the CLI exits non-zero).
+func parseDecoderKinds(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool)
+	for _, k := range service.SpecKinds() {
+		known[k] = true
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown decoder %q in -decoders (available: %v)", name, service.SpecKinds())
+		}
+		out = append(out, name)
+	}
+	return out, nil
 }
 
 func printStats(stats []service.PoolStats) {

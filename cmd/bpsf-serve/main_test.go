@@ -1,0 +1,52 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bpsf/internal/service"
+)
+
+// TestParseDecoderKinds is the table-driven -decoders validation: known
+// subsets parse, unknown names error naming the available set.
+func TestParseDecoderKinds(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []string
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"uf", []string{"uf"}, false},
+		{"bp,bposd", []string{"bp", "bposd"}, false},
+		{"bp, uf", []string{"bp", "uf"}, false},     // spaces trimmed
+		{"bpsf,,uf", []string{"bpsf", "uf"}, false}, // empty element skipped
+		{"matching", nil, true},                     // unknown
+		{"bp,nope", nil, true},                      // one bad name poisons the list
+		{"UF", nil, true},                           // case-sensitive
+	}
+	for _, tc := range cases {
+		got, err := parseDecoderKinds(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%q: accepted", tc.in)
+			} else if !strings.Contains(err.Error(), "available") {
+				t.Errorf("%q: error %q does not show the available set", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%q: got %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// every registered kind must be accepted individually
+	for _, k := range service.SpecKinds() {
+		if _, err := parseDecoderKinds(k); err != nil {
+			t.Errorf("registered kind %q rejected: %v", k, err)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	         -bp-iters 100 -phi 50 -wmax 10 -ns 10
 //	bpsf-sim -code coprime154 -model capacity -decoder bposd -p 0.05 \
 //	         -bp-iters 1000 -osd-order 10
+//	bpsf-sim -code rsurf5 -model capacity -decoder uf -p 0.001 -shots 20000
 package main
 
 import (
@@ -22,10 +23,10 @@ import (
 	"bpsf/internal/bpsf"
 	"bpsf/internal/codes"
 	"bpsf/internal/dem"
+	"bpsf/internal/experiments"
 	"bpsf/internal/memexp"
 	"bpsf/internal/osd"
 	"bpsf/internal/sim"
-	"bpsf/internal/sparse"
 )
 
 func main() {
@@ -33,7 +34,7 @@ func main() {
 	log.SetPrefix("bpsf-sim: ")
 	codeName := flag.String("code", "bb144", "code: "+fmt.Sprint(codes.Names()))
 	model := flag.String("model", "capacity", "noise model: capacity | circuit")
-	decoder := flag.String("decoder", "bpsf", "decoder: bp | bposd | bpsf")
+	decoder := flag.String("decoder", "bpsf", "decoder: "+fmt.Sprint(sim.DecoderNames()))
 	p := flag.Float64("p", 0.01, "physical error rate")
 	shots := flag.Int("shots", 1000, "number of samples")
 	seed := flag.Int64("seed", 1, "sampler seed")
@@ -60,36 +61,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sched := bp.Flooding
-	if *layered {
-		sched = bp.Layered
-	}
-	mk := func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
-		switch *decoder {
-		case "bp":
-			return sim.NewBP(h, priors, bp.Config{MaxIter: *bpIters, Schedule: sched}), nil
-		case "bposd":
-			return sim.NewBPOSD(h, priors,
-				bp.Config{MaxIter: *bpIters, Schedule: sched},
-				osd.Config{Method: osd.OSDCS, Order: *osdOrder}), nil
-		case "bpsf":
-			cfg := bpsf.Config{
-				Init:    bp.Config{MaxIter: *bpIters, Schedule: sched},
-				Trial:   bp.Config{MaxIter: *bpIters, Schedule: sched},
-				PhiSize: *phi,
-				WMax:    *wmax,
-				NS:      *ns,
-				Policy:  bpsf.Sampled,
-				Workers: *trialWorkers,
-				Seed:    *seed,
-			}
-			if *ns == 0 {
-				cfg.Policy = bpsf.Exhaustive
-			}
-			return sim.NewBPSF(h, priors, cfg)
-		default:
-			return nil, fmt.Errorf("unknown decoder %q", *decoder)
-		}
+	mk, err := decoderFactory(decoderFlags{
+		Name:         *decoder,
+		BPIters:      *bpIters,
+		Layered:      *layered,
+		OSDOrder:     *osdOrder,
+		Phi:          *phi,
+		WMax:         *wmax,
+		NS:           *ns,
+		TrialWorkers: *trialWorkers,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := sim.Config{P: *p, Shots: *shots, Seed: *seed, MaxLogicalErrors: *maxErrs, Workers: *workers}
@@ -126,4 +110,47 @@ func main() {
 	if err := tb.Write(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// decoderFlags carries the -decoder flag and its tuning companions.
+type decoderFlags struct {
+	Name         string
+	BPIters      int
+	Layered      bool
+	OSDOrder     int
+	Phi, WMax    int
+	NS           int
+	TrialWorkers int
+	Seed         int64
+}
+
+// decoderFactory resolves the flag set to a sim decoder factory by
+// building the equivalent experiments.Spec (one construction switch for
+// the whole repo). Unknown decoder names report the available set (the
+// CLI exits non-zero on the returned error).
+func decoderFactory(f decoderFlags) (sim.Factory, error) {
+	if _, ok := sim.Constructors()[f.Name]; !ok {
+		return nil, fmt.Errorf("unknown decoder %q (available: %v)", f.Name, sim.DecoderNames())
+	}
+	sched := bp.Flooding
+	if f.Layered {
+		sched = bp.Layered
+	}
+	policy := bpsf.Sampled
+	if f.NS == 0 {
+		policy = bpsf.Exhaustive
+	}
+	spec := experiments.Spec{
+		Kind:      f.Name,
+		BPIters:   f.BPIters,
+		Schedule:  sched,
+		OSDMethod: osd.OSDCS,
+		OSDOrder:  f.OSDOrder,
+		Phi:       f.Phi,
+		WMax:      f.WMax,
+		NS:        f.NS,
+		Policy:    policy,
+		Workers:   f.TrialWorkers,
+	}
+	return spec.Factory(f.Seed), nil
 }

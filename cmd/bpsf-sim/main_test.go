@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/noise"
+	"bpsf/internal/sim"
+)
+
+// TestDecoderFactoryFlags is the table-driven -decoder validation: every
+// registered name resolves to a working factory, unknown names fail with
+// an error naming the available set (the CLI turns that into a non-zero
+// exit via log.Fatal).
+func TestDecoderFactoryFlags(t *testing.T) {
+	base := decoderFlags{BPIters: 20, OSDOrder: 2, Phi: 4, WMax: 1, NS: 0, Seed: 1}
+	cases := []struct {
+		name    string
+		decoder string
+		wantErr bool
+	}{
+		{"bp", "bp", false},
+		{"bposd", "bposd", false},
+		{"bpsf", "bpsf", false},
+		{"uf", "uf", false},
+		{"unknown", "matching", true},
+		{"empty", "", true},
+		{"case-sensitive", "UF", true},
+	}
+	css, err := codes.RotatedSurface3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := noise.UniformPriors(css.N, 0.01)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base
+			f.Name = tc.decoder
+			mk, err := decoderFactory(f)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("decoder %q accepted", tc.decoder)
+				}
+				for _, known := range sim.DecoderNames() {
+					if !strings.Contains(err.Error(), known) {
+						t.Errorf("error %q does not name available decoder %q", err, known)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := mk(css.HZ, priors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Name() == "" {
+				t.Error("empty decoder name")
+			}
+		})
+	}
+}
+
+// TestDecoderFlagsMatchRegistry pins the flag vocabulary to the registry:
+// a decoder added to sim.Constructors must be reachable from the CLI.
+func TestDecoderFlagsMatchRegistry(t *testing.T) {
+	for _, name := range sim.DecoderNames() {
+		if _, err := decoderFactory(decoderFlags{Name: name, BPIters: 10, Phi: 2, WMax: 1}); err != nil {
+			t.Errorf("registered decoder %q rejected: %v", name, err)
+		}
+	}
+}

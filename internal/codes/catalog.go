@@ -30,6 +30,9 @@ func Catalog() map[string]Entry {
 		"coprime154": {Name: "coprime154", Build: CoprimeBB154, Rounds: 16},
 		"gb254":      {Name: "gb254", Build: GB254, Rounds: 14},
 		"shyps225":   {Name: "shyps225", Build: SHYPS225, Rounds: 8},
+		"rsurf3":     {Name: "rsurf3", Build: RotatedSurface3, Rounds: 3},
+		"rsurf5":     {Name: "rsurf5", Build: RotatedSurface5, Rounds: 5},
+		"toric4":     {Name: "toric4", Build: Toric4, Rounds: 4},
 	}
 }
 

@@ -1,0 +1,109 @@
+package codes
+
+import (
+	"fmt"
+
+	"bpsf/internal/code"
+	"bpsf/internal/sparse"
+)
+
+// RotatedSurface returns the distance-d rotated surface code Jd²,1,dK for
+// odd d ≥ 3: data qubits on a d×d grid, bulk plaquettes on the (d−1)×(d−1)
+// faces in a checkerboard X/Z pattern, and weight-2 half-plaquettes on the
+// boundary (X on the top/bottom rows, Z on the left/right columns), giving
+// (d²−1)/2 stabilizers per type. Every qubit sits in at most two X and two
+// Z checks, so the code is matchable — the fast-path workload of the
+// union-find decoder (internal/uf, DESIGN.md §6).
+func RotatedSurface(d int) (*code.CSS, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("codes: rotated surface distance %d (need odd ≥ 3)", d)
+	}
+	n := d * d
+	qubit := func(r, c int) int { return r*d + c }
+	hx := sparse.NewBuilder((n-1)/2, n)
+	hz := sparse.NewBuilder((n-1)/2, n)
+	xRow, zRow := 0, 0
+
+	// Candidate faces at (r, c) have corners (r..r+1, c..c+1) clipped to the
+	// grid; (r+c) even selects the X sublattice of the checkerboard.
+	for r := -1; r <= d-1; r++ {
+		for c := -1; c <= d-1; c++ {
+			var qs []int
+			for _, rc := range [4][2]int{{r, c}, {r, c + 1}, {r + 1, c}, {r + 1, c + 1}} {
+				if rc[0] >= 0 && rc[0] < d && rc[1] >= 0 && rc[1] < d {
+					qs = append(qs, qubit(rc[0], rc[1]))
+				}
+			}
+			isX := ((r+c)%2+2)%2 == 0
+			interior := r >= 0 && r < d-1 && c >= 0 && c < d-1
+			include := interior ||
+				// boundary half-faces: X along the top/bottom rows, Z along
+				// the left/right columns; corner slivers (one qubit) excluded
+				(len(qs) == 2 && ((isX && (r == -1 || r == d-1)) ||
+					(!isX && (c == -1 || c == d-1))))
+			if !include {
+				continue
+			}
+			if isX {
+				for _, q := range qs {
+					hx.Set(xRow, q)
+				}
+				xRow++
+			} else {
+				for _, q := range qs {
+					hz.Set(zRow, q)
+				}
+				zRow++
+			}
+		}
+	}
+	if xRow != (n-1)/2 || zRow != (n-1)/2 {
+		return nil, fmt.Errorf("codes: rotated surface d=%d produced %d X / %d Z checks, want %d each", d, xRow, zRow, (n-1)/2)
+	}
+	name := fmt.Sprintf("Rotated surface [[%d,1,%d]]", n, d)
+	return code.NewCSS(name, hx.Build(), hz.Build(), d)
+}
+
+// Toric returns the L×L toric code J2L²,2,LK for L ≥ 2: qubits on the
+// edges of an L×L periodic square lattice, X stabilizers on vertices, Z
+// stabilizers on plaquettes. Every qubit sits in exactly two checks of
+// each type (a matchable code with no boundary — the union-find decoder's
+// pure cluster-merge workload).
+func Toric(L int) (*code.CSS, error) {
+	if L < 2 {
+		return nil, fmt.Errorf("codes: toric lattice size %d < 2", L)
+	}
+	wrap := func(i int) int { return ((i % L) + L) % L }
+	// horizontal edge right of vertex (r,c); vertical edge below it
+	hEdge := func(r, c int) int { return wrap(r)*L + wrap(c) }
+	vEdge := func(r, c int) int { return L*L + wrap(r)*L + wrap(c) }
+	hx := sparse.NewBuilder(L*L, 2*L*L)
+	hz := sparse.NewBuilder(L*L, 2*L*L)
+	for r := 0; r < L; r++ {
+		for c := 0; c < L; c++ {
+			row := r*L + c
+			// vertex (r,c): the four incident edges
+			hx.Set(row, hEdge(r, c))
+			hx.Set(row, hEdge(r, c-1))
+			hx.Set(row, vEdge(r, c))
+			hx.Set(row, vEdge(r-1, c))
+			// plaquette with corners (r..r+1, c..c+1): its four boundary edges
+			hz.Set(row, hEdge(r, c))
+			hz.Set(row, hEdge(r+1, c))
+			hz.Set(row, vEdge(r, c))
+			hz.Set(row, vEdge(r, c+1))
+		}
+	}
+	name := fmt.Sprintf("Toric [[%d,2,%d]]", 2*L*L, L)
+	return code.NewCSS(name, hx.Build(), hz.Build(), L)
+}
+
+// RotatedSurface3 and friends adapt the family to the catalog's
+// zero-argument Build signature.
+func RotatedSurface3() (*code.CSS, error) { return RotatedSurface(3) }
+
+// RotatedSurface5 returns the distance-5 rotated surface code.
+func RotatedSurface5() (*code.CSS, error) { return RotatedSurface(5) }
+
+// Toric4 returns the 4×4 toric code.
+func Toric4() (*code.CSS, error) { return Toric(4) }

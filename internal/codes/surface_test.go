@@ -1,0 +1,105 @@
+package codes
+
+import (
+	"testing"
+
+	"bpsf/internal/code"
+	"bpsf/internal/gf2"
+)
+
+func TestRotatedSurfaceParameters(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c, err := RotatedSurface(d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := c.CheckValid(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if c.N != d*d || c.K != 1 || c.D != d {
+			t.Fatalf("d=%d: got [[%d,%d,%d]], want [[%d,1,%d]]", d, c.N, c.K, c.D, d*d, d)
+		}
+		wantChecks := (d*d - 1) / 2
+		if c.HX.Rows() != wantChecks || c.HZ.Rows() != wantChecks {
+			t.Fatalf("d=%d: %d X / %d Z checks, want %d each", d, c.HX.Rows(), c.HZ.Rows(), wantChecks)
+		}
+		assertMatchable(t, c)
+	}
+	for _, d := range []int{1, 2, 4} {
+		if _, err := RotatedSurface(d); err == nil {
+			t.Fatalf("d=%d: expected error", d)
+		}
+	}
+}
+
+func TestToricParameters(t *testing.T) {
+	for _, L := range []int{2, 3, 4} {
+		c, err := Toric(L)
+		if err != nil {
+			t.Fatalf("L=%d: %v", L, err)
+		}
+		if err := c.CheckValid(); err != nil {
+			t.Fatalf("L=%d: %v", L, err)
+		}
+		if c.N != 2*L*L || c.K != 2 || c.D != L {
+			t.Fatalf("L=%d: got [[%d,%d,%d]], want [[%d,2,%d]]", L, c.N, c.K, c.D, 2*L*L, L)
+		}
+		// every qubit in exactly two checks of each type (no boundary)
+		for j := 0; j < c.N; j++ {
+			if c.HX.ColWeight(j) != 2 || c.HZ.ColWeight(j) != 2 {
+				t.Fatalf("L=%d qubit %d: column weights %d/%d, want 2/2", L, j, c.HX.ColWeight(j), c.HZ.ColWeight(j))
+			}
+		}
+	}
+	if _, err := Toric(1); err == nil {
+		t.Fatal("L=1: expected error")
+	}
+}
+
+// assertMatchable checks the union-find fast-path precondition: every qubit
+// participates in at most two checks per type.
+func assertMatchable(t *testing.T, c *code.CSS) {
+	t.Helper()
+	for j := 0; j < c.N; j++ {
+		if c.HX.ColWeight(j) > 2 || c.HZ.ColWeight(j) > 2 {
+			t.Fatalf("%s qubit %d: column weights %d/%d exceed 2", c.Name, j, c.HX.ColWeight(j), c.HZ.ColWeight(j))
+		}
+	}
+}
+
+// TestRotatedSurfaceDistance3 brute-forces the d=3 code's distance: no
+// weight-≤2 X-type logical exists, and a weight-3 one does.
+func TestRotatedSurfaceDistance3(t *testing.T) {
+	c, err := RotatedSurface(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isLogical := func(e gf2.Vec) bool {
+		return c.SyndromeOfX(e).IsZero() && c.IsLogicalX(e)
+	}
+	found3 := false
+	for i := 0; i < c.N; i++ {
+		e := gf2.NewVec(c.N)
+		e.Set(i, true)
+		if isLogical(e) {
+			t.Fatalf("weight-1 logical at qubit %d", i)
+		}
+		for j := i + 1; j < c.N; j++ {
+			e.Set(j, true)
+			if isLogical(e) {
+				t.Fatalf("weight-2 logical at qubits %d,%d", i, j)
+			}
+			for k := j + 1; k < c.N; k++ {
+				e.Set(k, true)
+				if isLogical(e) {
+					found3 = true
+				}
+				e.Set(k, false)
+			}
+			e.Set(j, false)
+		}
+	}
+	if !found3 {
+		t.Fatal("no weight-3 X logical found; distance is not 3")
+	}
+}

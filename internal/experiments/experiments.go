@@ -103,7 +103,7 @@ type FigureResult struct {
 
 // Spec describes one decoder configuration in a figure's legend.
 type Spec struct {
-	Kind       string // "bp", "bposd", "bpsf"
+	Kind       string // "bp", "bposd", "bpsf", "uf"
 	Label      string // legend label (derived when empty)
 	BPIters    int
 	Schedule   bp.Schedule
@@ -120,6 +120,9 @@ type Spec struct {
 
 // BPSpec is a plain-BP decoder entry.
 func BPSpec(iters int) Spec { return Spec{Kind: "bp", BPIters: iters} }
+
+// UFSpec is the union-find decoder entry (no tuning parameters).
+func UFSpec() Spec { return Spec{Kind: "uf"} }
 
 // BPOSDSpec is the BP-OSD baseline entry (OSD-CS of the given order).
 func BPOSDSpec(iters, order int) Spec {
@@ -144,6 +147,8 @@ func (s Spec) DisplayLabel() string {
 		return s.Label
 	}
 	switch s.Kind {
+	case "uf":
+		return "UF"
 	case "bp":
 		return fmt.Sprintf("BP%d", s.BPIters)
 	case "bposd":
@@ -166,6 +171,8 @@ func (s Spec) DisplayLabel() string {
 func (s Spec) Factory(seed int64) sim.Factory {
 	return func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
 		switch s.Kind {
+		case "uf":
+			return sim.NewUF(h), nil
 		case "bp":
 			return sim.NewBP(h, priors, bp.Config{MaxIter: s.BPIters, Schedule: s.Schedule}), nil
 		case "bposd":

@@ -94,7 +94,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17a", "fig17b", "fig17c", "table1", "table2", "table3",
 		"ablation-damping", "ablation-trials", "ablation-first-success",
-		"ablation-variant", "service-latency",
+		"ablation-variant", "service-latency", "uf-vs-bposd",
 	}
 	reg := Registry()
 	for _, name := range want {

@@ -41,6 +41,33 @@ var fig07Golden = []PointStat{
 	{"BP1000", 0.003, 25, 5},
 }
 
+var ufGolden = []PointStat{
+	{"rsurf3 UF", 0.001, 60, 0},
+	{"rsurf3 UF", 0.02, 60, 1},
+	{"rsurf3 UF", 0.05, 60, 0},
+	{"rsurf3 UF", 0.08, 60, 4},
+	{"rsurf3 BP1000-OSD10", 0.001, 60, 0},
+	{"rsurf3 BP1000-OSD10", 0.02, 60, 1},
+	{"rsurf3 BP1000-OSD10", 0.05, 60, 0},
+	{"rsurf3 BP1000-OSD10", 0.08, 60, 4},
+	{"rsurf3 BP1000", 0.001, 60, 0},
+	{"rsurf3 BP1000", 0.02, 60, 5},
+	{"rsurf3 BP1000", 0.05, 60, 14},
+	{"rsurf3 BP1000", 0.08, 60, 17},
+	{"rsurf5 UF", 0.001, 60, 0},
+	{"rsurf5 UF", 0.02, 60, 1},
+	{"rsurf5 UF", 0.05, 60, 0},
+	{"rsurf5 UF", 0.08, 60, 2},
+	{"rsurf5 BP1000-OSD10", 0.001, 60, 0},
+	{"rsurf5 BP1000-OSD10", 0.02, 60, 1},
+	{"rsurf5 BP1000-OSD10", 0.05, 60, 0},
+	{"rsurf5 BP1000-OSD10", 0.08, 60, 2},
+	{"rsurf5 BP1000", 0.001, 60, 0},
+	{"rsurf5 BP1000", 0.02, 60, 12},
+	{"rsurf5 BP1000", 0.05, 60, 23},
+	{"rsurf5 BP1000", 0.08, 60, 33},
+}
+
 var fig17cGolden = []PointStat{
 	{"BP-SF(BP50,wmax=4,phi=20,ns=5)", 0.002, 25, 0},
 	{"BP-SF(BP50,wmax=4,phi=20,ns=5)", 0.004, 25, 2},
@@ -96,4 +123,33 @@ func TestCircuitFig07Golden(t *testing.T) {
 		t.Skip("golden Monte Carlo sweep skipped in -short")
 	}
 	checkGolden(t, "fig07", 25, fig07Golden)
+}
+
+// TestUFvsBPOSDGolden pins the union-find comparison experiment (rotated
+// surface d=3/5, quick scale) and asserts the acceptance bound: at
+// p = 1e-3 the UF failure count stays within 2× of BP-OSD's (with a
+// one-failure floor so zero-failure grids cannot mask a regression to a
+// handful of failures).
+func TestUFvsBPOSDGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden Monte Carlo sweep skipped in -short")
+	}
+	checkGolden(t, "uf-vs-bposd", 60, ufGolden)
+
+	fails := func(decoder string, p float64) int {
+		for _, row := range ufGolden {
+			if row.Decoder == decoder && row.P == p {
+				return row.Failures
+			}
+		}
+		t.Fatalf("no golden row for %s at p=%g", decoder, p)
+		return 0
+	}
+	for _, code := range []string{"rsurf3", "rsurf5"} {
+		uf := fails(code+" UF", 0.001)
+		bposd := fails(code+" BP1000-OSD10", 0.001)
+		if limit := 2 * max(bposd, 1); uf > limit {
+			t.Errorf("%s at p=1e-3: UF failures %d exceed 2× BP-OSD bound %d", code, uf, limit)
+		}
+	}
 }

@@ -38,6 +38,7 @@ func Registry() map[string]Harness {
 		"ablation-variant":       AblationVariant,
 
 		"service-latency": ServiceLatency,
+		"uf-vs-bposd":     UFvsBPOSD,
 	}
 }
 

@@ -1,0 +1,67 @@
+package gf2
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVecSetBytes fuzzes the wire packing of bit vectors (the decode
+// service's syndrome/estimate format): SetBytes must reject any
+// wrong-length input without panicking, and for correct lengths
+// AppendBytes∘SetBytes must round-trip exactly up to the documented
+// masking of pad bits in the final byte.
+func FuzzVecSetBytes(f *testing.F) {
+	f.Add(0, []byte{})
+	f.Add(1, []byte{0x01})
+	f.Add(8, []byte{0xff})
+	f.Add(9, []byte{0xff, 0x01})
+	f.Add(64, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(65, []byte{1, 2, 3, 4, 5, 6, 7, 8, 0xff})
+	f.Add(130, []byte(nil))
+	f.Fuzz(func(t *testing.T, n int, data []byte) {
+		if n < 0 || n > 1<<16 {
+			t.Skip()
+		}
+		v := NewVec(n)
+		if len(data) != v.ByteLen() {
+			if err := v.SetBytes(data); err == nil {
+				t.Fatalf("SetBytes accepted %d bytes for a %d-bit vector (want %d)", len(data), n, v.ByteLen())
+			}
+			return
+		}
+		if err := v.SetBytes(data); err != nil {
+			t.Fatal(err)
+		}
+
+		// the canonical image: input with the pad bits of the final byte
+		// cleared
+		want := append([]byte(nil), data...)
+		if r := n % 8; r != 0 && len(want) > 0 {
+			want[len(want)-1] &= byte(1<<r) - 1
+		}
+		got := v.AppendBytes(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendBytes(SetBytes(x)) = %x, want %x", got, want)
+		}
+
+		// a second round-trip must be a fixed point
+		u := NewVec(n)
+		if err := u.SetBytes(got); err != nil {
+			t.Fatal(err)
+		}
+		if !u.Equal(v) {
+			t.Fatal("second SetBytes round-trip diverged")
+		}
+
+		// weight and support must agree with the packed form
+		w := 0
+		for _, b := range want {
+			for ; b != 0; b &= b - 1 {
+				w++
+			}
+		}
+		if v.Weight() != w {
+			t.Fatalf("Weight=%d, packed popcount=%d", v.Weight(), w)
+		}
+	})
+}

@@ -32,8 +32,25 @@ type Options struct {
 	// most this many unanswered batches in flight before its read loop
 	// stalls (default 64).
 	Pipeline int
+	// AllowedKinds restricts the decoder kinds sessions may request (the
+	// bpsf-serve -decoders flag); empty allows every registered kind.
+	AllowedKinds []string
 	// Logf receives serve-loop diagnostics (nil = silent).
 	Logf func(format string, args ...interface{})
+}
+
+// kindAllowed reports whether a session may open pools of the given
+// decoder kind.
+func (o Options) kindAllowed(kind string) bool {
+	if len(o.AllowedKinds) == 0 {
+		return true
+	}
+	for _, k := range o.AllowedKinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
 }
 
 func (o Options) withDefaults() Options {
@@ -303,6 +320,9 @@ func (s *Server) session(conn net.Conn) {
 	h, err := parseHello(payload)
 	if err == nil {
 		h, err = validateHello(h)
+	}
+	if err == nil && !s.opts.kindAllowed(h.Spec.Kind) {
+		err = fmt.Errorf("service: decoder kind %q not served here (allowed: %v)", h.Spec.Kind, s.opts.AllowedKinds)
 	}
 	if err != nil {
 		fail(err)

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"bpsf/internal/bp"
 	"bpsf/internal/bpsf"
@@ -12,25 +13,37 @@ import (
 )
 
 // Spec selects the decoder family behind a session, in the same vocabulary
-// as cmd/bpsf-sim: "bp" (plain min-sum BP), "bposd" (BP + OSD-CS) or
-// "bpsf" (the paper's Algorithm 1; NS = 0 switches to exhaustive trials).
+// as cmd/bpsf-sim: "bp" (plain min-sum BP), "bposd" (BP + OSD-CS), "bpsf"
+// (the paper's Algorithm 1; NS = 0 switches to exhaustive trials) or "uf"
+// (the deterministic union-find decoder; ignores every tuning field).
 type Spec struct {
-	Kind     string // "bp" | "bposd" | "bpsf"
-	BPIters  int
-	OSDOrder int // bposd only
-	Phi      int // bpsf: |Φ|
-	WMax     int // bpsf: maximum trial weight
-	NS       int // bpsf: sampled trials per weight (0 = exhaustive)
-	Layered  bool
+	Kind     string // "bp" | "bposd" | "bpsf" | "uf"
+	BPIters  int    // ignored by uf
+	OSDOrder int    // bposd only
+	Phi      int    // bpsf: |Φ|
+	WMax     int    // bpsf: maximum trial weight
+	NS       int    // bpsf: sampled trials per weight (0 = exhaustive)
+	Layered  bool   // ignored by uf
 }
 
 // specKinds maps Kind to its wire byte.
-var specKinds = map[string]byte{"bp": 0, "bposd": 1, "bpsf": 2}
+var specKinds = map[string]byte{"bp": 0, "bposd": 1, "bpsf": 2, "uf": 3}
+
+// SpecKinds returns the sorted decoder kind names the service accepts —
+// the -decoder vocabulary of the CLIs.
+func SpecKinds() []string {
+	names := make([]string, 0, len(specKinds))
+	for k := range specKinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
 
 func (s Spec) kindByte() (byte, error) {
 	k, ok := specKinds[s.Kind]
 	if !ok {
-		return 0, fmt.Errorf("service: unknown decoder kind %q (want bp|bposd|bpsf)", s.Kind)
+		return 0, fmt.Errorf("service: unknown decoder kind %q (available: %v)", s.Kind, SpecKinds())
 	}
 	return k, nil
 }
@@ -52,8 +65,11 @@ func (s Spec) Validate() error {
 	if _, err := s.kindByte(); err != nil {
 		return err
 	}
-	if s.BPIters <= 0 || s.BPIters > math.MaxUint32 {
+	if s.Kind != "uf" && (s.BPIters <= 0 || s.BPIters > math.MaxUint32) {
 		return fmt.Errorf("service: BPIters %d out of range [1, %d]", s.BPIters, uint32(math.MaxUint32))
+	}
+	if s.Kind == "uf" && (s.BPIters < 0 || s.BPIters > math.MaxUint32) {
+		return fmt.Errorf("service: BPIters %d out of range [0, %d]", s.BPIters, uint32(math.MaxUint32))
 	}
 	for _, f := range []struct {
 		name string
@@ -76,6 +92,8 @@ func (s Spec) String() string {
 		sched = ",layered"
 	}
 	switch s.Kind {
+	case "uf":
+		return "UF"
 	case "bp":
 		return fmt.Sprintf("BP%d%s", s.BPIters, sched)
 	case "bposd":
@@ -102,6 +120,8 @@ func (s Spec) NewDecoder(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
 		sched = bp.Layered
 	}
 	switch s.Kind {
+	case "uf":
+		return sim.NewUF(h), nil
 	case "bp":
 		return sim.NewBP(h, priors, bp.Config{MaxIter: s.BPIters, Schedule: sched}), nil
 	case "bposd":

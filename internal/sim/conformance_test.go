@@ -1,0 +1,116 @@
+package sim
+
+// Cross-decoder conformance property suite: every registered decoder
+// constructor (Constructors: bp, bposd, bpsf, uf) is held to the same two
+// harness-facing invariants on small BB, HGP and surface instances:
+//
+//  1. Residual syndrome: whenever Decode reports Success, the returned
+//     correction reproduces the input syndrome exactly (H·ErrHat = s).
+//  2. Worker-count invariance: a sharded Monte-Carlo run produces
+//     bit-identical statistics for any Workers value.
+//
+// A decoder added to the registry is covered automatically.
+
+import (
+	"testing"
+
+	"bpsf/internal/code"
+	"bpsf/internal/codes"
+	"bpsf/internal/gf2"
+	"bpsf/internal/noise"
+)
+
+// conformanceCodes are the decoding problems of the suite: a matchable
+// code with boundary (rotated surface), one without (toric), a hypergraph
+// product (unrotated surface) and a weight-3-column BB code.
+func conformanceCodes(t *testing.T) []*code.CSS {
+	t.Helper()
+	var out []*code.CSS
+	for _, build := range []func() (*code.CSS, error){
+		codes.RotatedSurface3,
+		codes.Toric4,
+		func() (*code.CSS, error) { return codes.Surface(3) },
+		codes.BB72,
+	} {
+		c, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestConformanceResidualSyndrome samples random X errors and asserts the
+// residual-syndrome invariant, table-driven over (decoder, code, seed).
+func TestConformanceResidualSyndrome(t *testing.T) {
+	reg := Constructors()
+	css := conformanceCodes(t)
+	seeds := []int64{1, 12345, 9_000_000_001}
+	const p, shotsPerSeed = 0.04, 40
+	for _, name := range DecoderNames() {
+		mk := reg[name]
+		for _, c := range css {
+			dec, err := mk(c.HZ, noise.UniformPriors(c.N, noise.MarginalProb(p)))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, c.Name, err)
+			}
+			for _, seed := range seeds {
+				sampler := noise.NewCapacitySampler(c.N, p, seed)
+				Reseed(dec, seed)
+				ex := gf2.NewVec(c.N)
+				ez := gf2.NewVec(c.N)
+				s := gf2.NewVec(c.HZ.Rows())
+				converged := 0
+				for shot := 0; shot < shotsPerSeed; shot++ {
+					sampler.SampleInto(ex, ez)
+					c.SyndromeOfXInto(s, ex)
+					out := dec.Decode(s)
+					if !out.Success {
+						continue
+					}
+					converged++
+					if got := c.HZ.MulVec(out.ErrHat); !got.Equal(s) {
+						t.Fatalf("%s on %s (seed %d, shot %d): converged but H·ErrHat != s",
+							name, c.Name, seed, shot)
+					}
+				}
+				if converged == 0 {
+					t.Errorf("%s on %s (seed %d): no shot converged; the invariant was never exercised",
+						name, c.Name, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceWorkerInvariance runs every registered decoder through
+// the sharded engine at several worker counts: Failures, Shots and
+// AvgIters must be bit-identical (the engine determinism contract,
+// DESIGN.md §4, extended to the whole registry).
+func TestConformanceWorkerInvariance(t *testing.T) {
+	reg := Constructors()
+	css := conformanceCodes(t)
+	for _, name := range DecoderNames() {
+		mk := reg[name]
+		for _, c := range css {
+			var ref *Result
+			for _, workers := range []int{1, 3, 8} {
+				res, err := RunCapacity(c, mk, Config{
+					P: 0.05, Shots: 96, Seed: 4242, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("%s on %s: %v", name, c.Name, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if res.Failures != ref.Failures || res.Shots != ref.Shots || res.AvgIters != ref.AvgIters {
+					t.Errorf("%s on %s: workers=%d diverged: failures %d vs %d, shots %d vs %d, avgIters %v vs %v",
+						name, c.Name, workers, res.Failures, ref.Failures, res.Shots, ref.Shots, res.AvgIters, ref.AvgIters)
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"bpsf/internal/bp"
@@ -16,6 +17,7 @@ import (
 	"bpsf/internal/osd"
 	"bpsf/internal/sparse"
 	"bpsf/internal/tanner"
+	"bpsf/internal/uf"
 )
 
 // Outcome is the unified per-shot decoder report consumed by the harness.
@@ -159,4 +161,78 @@ func (a *bpsfAdapter) Decode(s gf2.Vec) Outcome {
 		TrialIterations:    r.TrialIterations,
 		TrialSuccess:       r.TrialSuccess,
 	}
+}
+
+// ---- union-find ----
+
+type ufAdapter struct {
+	d *uf.Decoder
+}
+
+// NewUF wraps the deterministic union-find decoder (internal/uf): the
+// matchable-code baseline with spanning-tree peeling and a cluster-local
+// elimination fallback for hypergraph check matrices. It carries no
+// randomness and uses no priors, so there is no priors argument.
+func NewUF(h *sparse.Mat) Decoder {
+	return &ufAdapter{d: uf.New(h)}
+}
+
+func (a *ufAdapter) Name() string { return "UF" }
+
+func (a *ufAdapter) Decode(s gf2.Vec) Outcome {
+	t0 := time.Now()
+	r := a.d.Decode(s)
+	return Outcome{
+		Success:            r.Success,
+		ErrHat:             r.ErrHat,
+		Iterations:         r.GrowthRounds,
+		ParallelIterations: r.GrowthRounds,
+		InitIterations:     r.GrowthRounds,
+		Time:               time.Since(t0),
+	}
+}
+
+// ---- decoder constructor registry ----
+
+// Constructors returns the registered decoder constructors keyed by the
+// kind names used across the CLIs and the decode service ("bp", "bposd",
+// "bpsf", "uf"), each with a small default configuration. The conformance
+// property suite iterates this registry, and the CLIs validate -decoder
+// values against its keys; decoders added here are automatically covered
+// by both.
+func Constructors() map[string]Factory {
+	return map[string]Factory{
+		"bp": func(h *sparse.Mat, priors []float64) (Decoder, error) {
+			return NewBP(h, priors, bp.Config{MaxIter: 100}), nil
+		},
+		"bposd": func(h *sparse.Mat, priors []float64) (Decoder, error) {
+			return NewBPOSD(h, priors,
+				bp.Config{MaxIter: 100},
+				osd.Config{Method: osd.OSDCS, Order: 5}), nil
+		},
+		"bpsf": func(h *sparse.Mat, priors []float64) (Decoder, error) {
+			return NewBPSF(h, priors, bpsf.Config{
+				Init:    bp.Config{MaxIter: 50},
+				Trial:   bp.Config{MaxIter: 50},
+				PhiSize: 8,
+				WMax:    2,
+				Policy:  bpsf.Exhaustive,
+			})
+		},
+		"uf": func(h *sparse.Mat, priors []float64) (Decoder, error) {
+			return NewUF(h), nil
+		},
+	}
+}
+
+// DecoderNames returns the sorted registry keys — the vocabulary of every
+// -decoder flag.
+func DecoderNames() []string {
+	reg := Constructors()
+	names := make([]string, 0, len(reg))
+	for k := range reg {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -1,0 +1,148 @@
+package uf
+
+// Matchable-graph path: cluster growth over check-graph edges and
+// spanning-forest peeling. Vertices are checks plus the virtual boundary
+// vertex B = m; a cluster is neutral when its defect parity is even or it
+// contains B.
+
+// growMatchable runs growth sweeps until every cluster is neutral. Each
+// sweep grows every active cluster by one layer (all edges incident to its
+// current vertex set), in ascending root order. It returns false only for
+// inconsistent syndromes: an odd-parity cluster that has consumed its
+// whole connected component without reaching the boundary.
+func (d *Decoder) growMatchable(res *Result) bool {
+	for {
+		roots := d.activeRoots()
+		anyActive, progress := false, false
+		for _, r := range roots {
+			if d.find(r) != r {
+				continue // merged into an earlier cluster this sweep
+			}
+			if d.defects[r]%2 == 0 || d.hasBound[r] {
+				continue // neutral
+			}
+			anyActive = true
+			vs := append(d.snapshot[:0], d.vlist(r)...)
+			cur := r
+			for _, v := range vs {
+				for _, e := range d.vertEdges[v] {
+					if d.inGraph[e] {
+						continue
+					}
+					d.inGraph[e] = true
+					progress = true
+					cur = d.find(cur)
+					d.clEdges[cur] = append(d.clEdges[cur], e)
+					other := d.edgeU[e]
+					if other == v {
+						other = d.edgeV[e]
+					}
+					cur = d.union(cur, other)
+				}
+			}
+			d.snapshot = vs[:0]
+		}
+		if !anyActive {
+			return true
+		}
+		if !progress {
+			return false // stuck: odd component with no boundary and no new edges
+		}
+		res.GrowthRounds++
+	}
+}
+
+// peelAll extracts the correction cluster by cluster: a spanning forest of
+// each cluster's grown edge set is peeled from the leaves inward, pushing
+// defects toward the forest root (the boundary vertex when the cluster
+// touches it).
+func (d *Decoder) peelAll(res *Result) bool {
+	for _, r := range d.activeRoots() {
+		if d.defects[r] == 0 {
+			continue // no defects to fix (merged-through-boundary remainder)
+		}
+		res.Clusters++
+		if !d.peel(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Decoder) peel(r int32) bool {
+	boundary := int32(d.m)
+	verts := d.vlist(r)
+
+	// Forest root: the boundary vertex when present (it absorbs any defect
+	// parity), else the smallest cluster vertex (deterministic).
+	start := verts[0]
+	if d.hasBound[r] {
+		start = boundary
+	} else {
+		for _, v := range verts {
+			if v < start {
+				start = v
+			}
+		}
+	}
+
+	// Intrusive adjacency over the cluster's grown edges: adjHead[v] holds
+	// 2·edge+side, the next pointer lives in edgeNextU/V by side.
+	for _, v := range verts {
+		d.adjHead[v] = -1
+	}
+	for _, e := range d.clEdges[r] {
+		u, v := d.edgeU[e], d.edgeV[e]
+		d.edgeNextU[e] = d.adjHead[u]
+		d.adjHead[u] = e<<1 | 0
+		d.edgeNextV[e] = d.adjHead[v]
+		d.adjHead[v] = e<<1 | 1
+	}
+
+	// BFS spanning forest from start (deterministic: adjacency order is the
+	// reverse of the cluster's edge insertion order, itself deterministic).
+	order := append(d.bfsOrder[:0], start)
+	d.seen[start] = true
+	for qi := 0; qi < len(order); qi++ {
+		w := order[qi]
+		for it := d.adjHead[w]; it >= 0; {
+			e := it >> 1
+			var other, next int32
+			if it&1 == 0 {
+				other, next = d.edgeV[e], d.edgeNextU[e]
+			} else {
+				other, next = d.edgeU[e], d.edgeNextV[e]
+			}
+			if !d.seen[other] {
+				d.seen[other] = true
+				d.parentEdge[other] = e
+				d.parentVert[other] = w
+				order = append(order, other)
+			}
+			it = next
+		}
+	}
+
+	// Peel leaves inward: a defect at v moves across its parent edge, which
+	// joins the correction; the boundary absorbs whatever reaches it.
+	for i := len(order) - 1; i >= 1; i-- {
+		v := order[i]
+		if v == boundary || !d.defect[v] {
+			continue
+		}
+		e := d.parentEdge[v]
+		d.errHat.Flip(int(d.edgeCol[e]))
+		d.defect[v] = false
+		if u := d.parentVert[v]; u != boundary {
+			d.defect[u] = !d.defect[u]
+		}
+	}
+	ok := start == boundary || !d.defect[start]
+	d.defect[start] = false
+
+	for _, v := range order {
+		d.seen[v] = false
+	}
+	d.bfsOrder = order[:0]
+	return ok
+}

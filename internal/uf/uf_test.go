@@ -1,0 +1,207 @@
+package uf
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpsf/internal/code"
+	"bpsf/internal/codes"
+	"bpsf/internal/gf2"
+	"bpsf/internal/sparse"
+)
+
+func mustCode(t *testing.T, build func() (*code.CSS, error)) *code.CSS {
+	t.Helper()
+	c, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPathSelection(t *testing.T) {
+	rsurf := mustCode(t, codes.RotatedSurface3)
+	if !New(rsurf.HZ).Matchable() {
+		t.Error("rotated surface HZ should take the peeling path")
+	}
+	toric := mustCode(t, func() (*code.CSS, error) { return codes.Toric(3) })
+	if !New(toric.HZ).Matchable() {
+		t.Error("toric HZ should take the peeling path")
+	}
+	bb := mustCode(t, codes.BB72)
+	if New(bb.HZ).Matchable() {
+		t.Error("BB72 HZ (column weight 3) should take the elimination path")
+	}
+}
+
+func TestZeroSyndrome(t *testing.T) {
+	c := mustCode(t, codes.RotatedSurface3)
+	d := New(c.HZ)
+	r := d.Decode(gf2.NewVec(c.HZ.Rows()))
+	if !r.Success || r.ErrHat.Weight() != 0 {
+		t.Fatalf("zero syndrome: success=%v weight=%d", r.Success, r.ErrHat.Weight())
+	}
+}
+
+// TestSingleErrorsCorrected checks that every single-qubit error is
+// corrected exactly (syndrome reproduced, no logical residual) on both the
+// boundary (rotated surface) and boundaryless (toric) peeling workloads.
+func TestSingleErrorsCorrected(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*code.CSS, error)
+	}{
+		{"rsurf3", codes.RotatedSurface3},
+		{"rsurf5", codes.RotatedSurface5},
+		{"toric4", codes.Toric4},
+	} {
+		c := mustCode(t, tc.build)
+		d := New(c.HZ)
+		for q := 0; q < c.N; q++ {
+			e := gf2.NewVec(c.N)
+			e.Set(q, true)
+			s := c.SyndromeOfX(e)
+			r := d.Decode(s)
+			if !r.Success {
+				t.Fatalf("%s qubit %d: decode failed", tc.name, q)
+			}
+			if got := c.HZ.MulVec(r.ErrHat); !got.Equal(s) {
+				t.Fatalf("%s qubit %d: residual syndrome", tc.name, q)
+			}
+			resid := e.Clone()
+			resid.Xor(r.ErrHat)
+			if c.IsLogicalX(resid) {
+				t.Fatalf("%s qubit %d: logical error on weight-1 input", tc.name, q)
+			}
+		}
+	}
+}
+
+// TestResidualSyndromeInvariant fuzzes random errors through both paths:
+// whenever Decode reports success, H·ErrHat must equal the syndrome
+// exactly.
+func TestResidualSyndromeInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*code.CSS, error)
+		p     float64
+	}{
+		{"rsurf5", codes.RotatedSurface5, 0.08},
+		{"toric4", codes.Toric4, 0.08},
+		{"bb72", codes.BB72, 0.03},
+		{"hgp-surface3", func() (*code.CSS, error) { return codes.Surface(3) }, 0.08},
+	} {
+		c := mustCode(t, tc.build)
+		d := New(c.HZ)
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			e := gf2.NewVec(c.N)
+			for q := 0; q < c.N; q++ {
+				if rng.Float64() < tc.p {
+					e.Set(q, true)
+				}
+			}
+			s := c.SyndromeOfX(e)
+			r := d.Decode(s)
+			if !r.Success {
+				t.Fatalf("%s trial %d: decode failed on a consistent syndrome", tc.name, trial)
+			}
+			if got := c.HZ.MulVec(r.ErrHat); !got.Equal(s) {
+				t.Fatalf("%s trial %d: H·ErrHat != s", tc.name, trial)
+			}
+		}
+	}
+}
+
+// TestDecodeDeterministic re-decodes the same syndromes on a fresh decoder
+// and on a reused one: estimates must be byte-identical.
+func TestDecodeDeterministic(t *testing.T) {
+	c := mustCode(t, codes.RotatedSurface5)
+	d1, d2 := New(c.HZ), New(c.HZ)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		e := gf2.NewVec(c.N)
+		for q := 0; q < c.N; q++ {
+			if rng.Float64() < 0.1 {
+				e.Set(q, true)
+			}
+		}
+		s := c.SyndromeOfX(e)
+		r1 := d1.Decode(s)
+		hat1 := r1.ErrHat.Clone()
+		r2 := d1.Decode(s) // reused decoder
+		if !hat1.Equal(r2.ErrHat) || r1.Success != r2.Success {
+			t.Fatalf("trial %d: reused decoder diverged", trial)
+		}
+		r3 := d2.Decode(s) // fresh decoder
+		if !hat1.Equal(r3.ErrHat) || r1.Success != r3.Success {
+			t.Fatalf("trial %d: fresh decoder diverged", trial)
+		}
+	}
+}
+
+// TestInconsistentSyndromeFails feeds syndromes outside the image of H:
+// Decode must terminate with Success=false on both paths.
+func TestInconsistentSyndromeFails(t *testing.T) {
+	// toric code: every column flips exactly two checks, so odd-weight
+	// syndromes are unreachable
+	toric := mustCode(t, codes.Toric4)
+	d := New(toric.HZ)
+	s := gf2.NewVec(toric.HZ.Rows())
+	s.Set(0, true)
+	if r := d.Decode(s); r.Success {
+		t.Error("toric: odd-weight syndrome decoded successfully")
+	}
+
+	// BB72: rank(HZ) < rows, so some unit syndrome is inconsistent
+	bb := mustCode(t, codes.BB72)
+	dense := bb.HZ.ToDense()
+	found := false
+	for i := 0; i < bb.HZ.Rows() && !found; i++ {
+		s := gf2.NewVec(bb.HZ.Rows())
+		s.Set(i, true)
+		if _, ok := gf2.Solve(dense, s); ok {
+			continue
+		}
+		found = true
+		if r := New(bb.HZ).Decode(s); r.Success {
+			t.Errorf("bb72: inconsistent syndrome %d decoded successfully", i)
+		}
+	}
+	if !found {
+		t.Skip("bb72 HZ has full row rank; no inconsistent unit syndrome")
+	}
+}
+
+// TestBoundaryOnlyColumns exercises weight-1 columns: a repetition-code
+// check matrix augmented with a weight-0 column must still decode.
+func TestWeightZeroAndOneColumns(t *testing.T) {
+	// H = [1 1 0 0; 0 1 1 0] over 4 bits: bit 3 is weight-0, bit 0 and 2
+	// are weight-1 boundary edges, bit 1 is a weight-2 edge.
+	b := sparse.NewBuilder(2, 4)
+	b.Set(0, 0)
+	b.Set(0, 1)
+	b.Set(1, 1)
+	b.Set(1, 2)
+	h := b.Build()
+	d := New(h)
+	if !d.Matchable() {
+		t.Fatal("expected matchable")
+	}
+	for bits := 0; bits < 4; bits++ {
+		s := gf2.NewVec(2)
+		if bits&1 != 0 {
+			s.Set(0, true)
+		}
+		if bits&2 != 0 {
+			s.Set(1, true)
+		}
+		r := d.Decode(s)
+		if !r.Success {
+			t.Fatalf("syndrome %02b: decode failed", bits)
+		}
+		if got := h.MulVec(r.ErrHat); !got.Equal(s) {
+			t.Fatalf("syndrome %02b: H·ErrHat != s", bits)
+		}
+	}
+}
