@@ -40,6 +40,7 @@ import (
 	"bpsf/internal/sim"
 	"bpsf/internal/sparse"
 	"bpsf/internal/uf"
+	"bpsf/internal/window"
 )
 
 // Core value types.
@@ -170,9 +171,62 @@ func NewUFRaw(h *Matrix) *uf.Decoder { return uf.New(h) }
 type UFResult = uf.Result
 
 // DecoderNames lists the registered decoder constructor names ("bp",
-// "bposd", "bpsf", "uf") — the -decoder vocabulary of the CLIs and the
-// decode service.
+// "bposd", "bpsf", "uf", "windowed") — the -decoder vocabulary of the
+// CLIs and the decode service.
 func DecoderNames() []string { return sim.DecoderNames() }
+
+// Sliding-window streaming decoder re-exports (internal/window; window/
+// commit semantics and the streaming determinism contract in DESIGN.md §7).
+type (
+	// WindowLayout groups a check matrix's detector rows into contiguous
+	// rounds — the axis sliding windows move along.
+	WindowLayout = window.Layout
+	// WindowSpan is one window of the partition: decoded rounds
+	// [Start, End), committed rounds [Start, CommitEnd).
+	WindowSpan = window.Span
+	// WindowedDecoder is the sliding-window wrapper around any inner
+	// decoder family; it implements Decoder and additionally serves
+	// incremental round streams through NewStream.
+	WindowedDecoder = window.Decoder
+	// WindowStream is one in-progress round-by-round decode.
+	WindowStream = window.Stream
+	// WindowCommit is one window's incremental committed correction.
+	WindowCommit = window.Commit
+)
+
+// NewWindowedDecoder builds a sliding-window decoder over h: windows of w
+// rounds committing c, sliced by layout, with any inner decoder factory.
+// Decode consumes a whole multi-round syndrome; NewStream decodes round
+// by round with bounded work per round.
+func NewWindowedDecoder(h *Matrix, priors []float64, layout WindowLayout, w, c int, inner Factory) (*WindowedDecoder, error) {
+	return window.New(h, priors, layout, w, c, inner)
+}
+
+// WindowedFactory wraps an inner decoder factory in the sliding-window
+// scheduler with the generic row-per-round layout (code capacity);
+// WindowedFactoryOver takes an explicit layout (circuit level).
+func WindowedFactory(inner Factory, w, c int) Factory { return sim.NewWindowed(inner, w, c) }
+
+// WindowedFactoryOver wraps an inner factory in the sliding-window
+// scheduler along an explicit round layout.
+func WindowedFactoryOver(inner Factory, layout WindowLayout, w, c int) Factory {
+	return sim.NewWindowedOver(inner, layout, w, c)
+}
+
+// RowRounds is the generic layout-free round layout: every check-matrix
+// row is its own round.
+func RowRounds(rows int) WindowLayout { return window.RowRounds(rows) }
+
+// MemoryLayout is the round layout of a code's memory-experiment DEM
+// (BuildMemoryDEM): circuit round blocks plus the final transversal data
+// measurement as one extra layout round.
+func MemoryLayout(c *Code, rounds int) WindowLayout { return window.MemexpLayout(c, rounds) }
+
+// PartitionRounds slices a round count into sliding windows of at most w
+// rounds committing c each (the last window commits through the end).
+func PartitionRounds(rounds, w, c int) ([]WindowSpan, error) {
+	return window.PartitionRounds(rounds, w, c)
+}
 
 // BuildMemoryDEM generates the d-round Z-basis memory experiment for a code
 // under the paper's uniform circuit-level noise model and extracts its
@@ -235,6 +289,15 @@ type (
 	ServiceResponse = service.Response
 	// ServicePoolStats is one warm pool's cumulative service report.
 	ServicePoolStats = service.PoolStats
+	// ServiceStream is one windowed decode stream within a session
+	// (Client.OpenStream): rounds go up, per-window commits come back.
+	ServiceStream = service.ClientStream
+	// ServiceStreamCommit is one window's committed correction on the wire.
+	ServiceStreamCommit = service.StreamCommit
+	// ServiceStreamResult is a completed stream's verdict.
+	ServiceStreamResult = service.StreamResult
+	// ServiceStreamStats is the server's cumulative windowed-stream report.
+	ServiceStreamStats = service.StreamStats
 )
 
 // NewDecodeServer builds a streaming decode server; start it with Listen,

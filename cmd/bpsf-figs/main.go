@@ -32,6 +32,8 @@ func main() {
 	shots := flag.Int("shots", 0, "shots per point (0 = per-figure default)")
 	seed := flag.Int64("seed", 0, "sampler seed (0 = default)")
 	full := flag.Bool("full", false, "paper-scale rounds and error-rate grids (slow)")
+	decoder := flag.String("decoder", "",
+		"restrict decoder-grid experiments to one kind of "+fmt.Sprint(sim.DecoderNames())+" (empty = full grids; windowed wrappers match their inner kind)")
 	outDir := flag.String("out", "data", "CSV output directory")
 	workers := flag.Int("workers", runtime.NumCPU(),
 		"parallelism across grid cells and Monte-Carlo shards (results are identical for any value)")
@@ -46,6 +48,9 @@ func main() {
 	if *exp == "" {
 		log.Fatal("missing -exp (try -list)")
 	}
+	if err := validateDecoder(*decoder); err != nil {
+		log.Fatal(err)
+	}
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = experiments.Names()
@@ -54,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := experiments.Opts{Shots: *shots, Seed: *seed, Full: *full, Out: os.Stdout, Workers: *workers}
+	opts := experiments.Opts{Shots: *shots, Seed: *seed, Full: *full, Out: os.Stdout, Workers: *workers, Decoder: *decoder}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		t0 := time.Now()
@@ -79,4 +84,11 @@ func main() {
 		}
 		fmt.Printf("   wrote %s  [%v]\n\n", path, time.Since(t0).Round(time.Millisecond))
 	}
+}
+
+// validateDecoder checks the -decoder filter against the constructor
+// registry; unknown names report the available set (the CLI exits
+// non-zero on the returned error).
+func validateDecoder(name string) error {
+	return experiments.ValidDecoderName(name)
 }

@@ -1,11 +1,14 @@
 // Command bpsf-latency measures decoding-time distributions for one code
-// under circuit-level noise: BP-SF (serial and modeled P-worker pools)
-// against BP-OSD, with the modeled GPU estimates — the measurements behind
-// the paper's Figures 13–16 and Table I.
+// under circuit-level noise: the selected -decoder (serial, and for BP-SF
+// the modeled P-worker pools and GPU estimates) against the BP-OSD
+// baseline — the measurements behind the paper's Figures 13–16 and Table I.
+// -window wraps the measured decoder in the sliding-window scheduler to
+// read the bounded-latency streaming trade-off directly.
 //
 // Usage:
 //
 //	bpsf-latency -code bb144 -p 0.003 -shots 500 -rounds 6 -model-workers 2,4,8
+//	bpsf-latency -code rsurf5 -decoder uf -window 3 -shots 2000
 package main
 
 import (
@@ -19,13 +22,14 @@ import (
 	"time"
 
 	"bpsf/internal/bp"
-	"bpsf/internal/bpsf"
 	"bpsf/internal/codes"
 	"bpsf/internal/dem"
+	"bpsf/internal/experiments"
 	"bpsf/internal/memexp"
 	"bpsf/internal/osd"
 	"bpsf/internal/sim"
 	"bpsf/internal/sparse"
+	"bpsf/internal/window"
 )
 
 func main() {
@@ -36,9 +40,17 @@ func main() {
 	shots := flag.Int("shots", 300, "number of samples")
 	seed := flag.Int64("seed", 1, "sampler seed")
 	rounds := flag.Int("rounds", 0, "extraction rounds (0 = code default)")
-	bpIters := flag.Int("bp-iters", 100, "BP-SF iteration cap")
-	osdIters := flag.Int("osd-bp-iters", 1000, "BP-OSD BP iteration cap")
-	modelWorkersFlag := flag.String("model-workers", "2,4,8", "modeled worker pool sizes")
+	decoder := flag.String("decoder", "bpsf", "measured decoder: "+fmt.Sprint(sim.DecoderNames()))
+	bpIters := flag.Int("bp-iters", 100, "measured decoder's BP iteration cap")
+	osdOrder := flag.Int("osd-order", 10, "OSD-CS order (measured bposd decoder)")
+	phi := flag.Int("phi", 50, "BP-SF candidate set size |Φ|")
+	wmax := flag.Int("wmax", 10, "BP-SF maximum trial weight")
+	ns := flag.Int("ns", 10, "BP-SF sampled trials per weight (0 = exhaustive)")
+	windowRounds := flag.Int("window", 0,
+		"wrap the measured decoder in the sliding-window scheduler (0 = whole-history)")
+	commitRounds := flag.Int("commit", 1, "committed rounds per window (with -window)")
+	osdIters := flag.Int("osd-bp-iters", 1000, "baseline BP-OSD BP iteration cap")
+	modelWorkersFlag := flag.String("model-workers", "2,4,8", "modeled worker pool sizes (bpsf only)")
 	workers := flag.Int("workers", runtime.NumCPU(),
 		"Monte-Carlo shard workers (per-shot times are noisier when shards share cores)")
 	flag.Parse()
@@ -54,6 +66,21 @@ func main() {
 	r := *rounds
 	if r == 0 {
 		r = entry.Rounds
+	}
+	sfMk, err := decoderFactory(decoderFlags{
+		Name:     *decoder,
+		BPIters:  *bpIters,
+		OSDOrder: *osdOrder,
+		Phi:      *phi,
+		WMax:     *wmax,
+		NS:       *ns,
+		Window:   *windowRounds,
+		Commit:   *commitRounds,
+		Layout:   window.MemexpLayout(css, r),
+		Seed:     *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	circ, err := memexp.Build(css, r, memexp.Uniform())
 	if err != nil {
@@ -85,17 +112,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sfMk := func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
-		return sim.NewBPSF(h, priors, bpsf.Config{
-			Init:    bp.Config{MaxIter: *bpIters},
-			Trial:   bp.Config{MaxIter: *bpIters},
-			PhiSize: 50,
-			WMax:    10,
-			NS:      10,
-			Policy:  bpsf.Sampled,
-			Seed:    *seed,
-		})
-	}
 	sfRes, err := sim.RunCircuit(d, r, sfMk, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -131,25 +147,40 @@ func main() {
 	}
 	row(osdRes.Decoder, osdRes.LERRound, times(osdRes.Records))
 	row(sfRes.Decoder+" serial", sfRes.LERRound, times(sfRes.Records))
-	for _, w := range modelWorkers {
-		modeled := make([]time.Duration, len(sfRes.Records))
-		for i, rec := range sfRes.Records {
-			iters := sim.ScheduleLatency(rec.InitIterations, rec.TrialIterations, rec.TrialSuccess, w)
-			modeled[i] = time.Duration(iters) * iterUnit
+	// the P-worker schedule model and the GPU estimator consume BP-SF
+	// per-trial records, so they only apply to the bare bpsf decoder
+	if *decoder == "bpsf" && *windowRounds == 0 {
+		for _, w := range modelWorkers {
+			modeled := make([]time.Duration, len(sfRes.Records))
+			for i, rec := range sfRes.Records {
+				iters := sim.ScheduleLatency(rec.InitIterations, rec.TrialIterations, rec.TrialSuccess, w)
+				modeled[i] = time.Duration(iters) * iterUnit
+			}
+			row(fmt.Sprintf("BP-SF P=%d (model)", w), sfRes.LERRound, modeled)
 		}
-		row(fmt.Sprintf("BP-SF P=%d (model)", w), sfRes.LERRound, modeled)
+		var gpuEst []time.Duration
+		for _, rec := range sfRes.Records {
+			gpuEst = append(gpuEst, gpu.Estimate(sim.Outcome{
+				InitIterations:  rec.InitIterations,
+				TrialIterations: rec.TrialIterations,
+				TrialSuccess:    rec.TrialSuccess,
+			}))
+		}
+		row("BP-SF (GPU_Est)", sfRes.LERRound, gpuEst)
 	}
-	var gpuEst []time.Duration
-	for _, rec := range sfRes.Records {
-		gpuEst = append(gpuEst, gpu.Estimate(sim.Outcome{
-			InitIterations:  rec.InitIterations,
-			TrialIterations: rec.TrialIterations,
-			TrialSuccess:    rec.TrialSuccess,
-		}))
-	}
-	row("BP-SF (GPU_Est)", sfRes.LERRound, gpuEst)
 
 	if err := tb.Write(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// decoderFlags carries the -decoder flag and its tuning companions
+// (alias of the shared experiments.CLIDecoderFlags).
+type decoderFlags = experiments.CLIDecoderFlags
+
+// decoderFactory resolves the flag set to a sim decoder factory through
+// experiments.CLIFactory; unknown decoder names report the available set
+// (the CLI exits non-zero on the returned error).
+func decoderFactory(f decoderFlags) (sim.Factory, error) {
+	return experiments.CLIFactory(f)
 }

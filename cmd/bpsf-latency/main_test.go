@@ -9,10 +9,10 @@ import (
 	"bpsf/internal/sim"
 )
 
-// TestDecoderFactoryFlags is the table-driven -decoder validation: every
-// registered name resolves to a working factory, unknown names fail with
-// an error naming the available set (the CLI turns that into a non-zero
-// exit via log.Fatal).
+// TestDecoderFactoryFlags is the table-driven -decoder validation for
+// bpsf-latency (mirroring bpsf-sim's): every registered name resolves to a
+// working factory, unknown names fail with an error naming the available
+// set (the CLI turns that into a non-zero exit via log.Fatal).
 func TestDecoderFactoryFlags(t *testing.T) {
 	base := decoderFlags{BPIters: 20, OSDOrder: 2, Phi: 4, WMax: 1, NS: 0, Seed: 1}
 	cases := []struct {
@@ -26,14 +26,12 @@ func TestDecoderFactoryFlags(t *testing.T) {
 		{"bposd", "bposd", 0, 0, false},
 		{"bpsf", "bpsf", 0, 0, false},
 		{"uf", "uf", 0, 0, false},
-		{"windowed-default", "windowed", 0, 0, false},
-		{"windowed-explicit", "windowed", 4, 2, false},
+		{"windowed", "windowed", 0, 0, false},
 		{"uf-windowed", "uf", 3, 1, false},
-		{"bp-windowed", "bp", 2, 2, false},
-		{"commit-exceeds-window", "uf", 2, 3, true},
+		{"commit-exceeds-window", "bp", 2, 3, true},
 		{"unknown", "matching", 0, 0, true},
 		{"empty", "", 0, 0, true},
-		{"case-sensitive", "UF", 0, 0, true},
+		{"case-sensitive", "BPSF", 0, 0, true},
 	}
 	css, err := codes.RotatedSurface3()
 	if err != nil {
@@ -75,7 +73,7 @@ func TestDecoderFactoryFlags(t *testing.T) {
 }
 
 // TestDecoderFlagsMatchRegistry pins the flag vocabulary to the registry:
-// a decoder added to sim.Constructors must be reachable from the CLI.
+// a decoder added to sim.Constructors must be reachable from this CLI.
 func TestDecoderFlagsMatchRegistry(t *testing.T) {
 	for _, name := range sim.DecoderNames() {
 		if _, err := decoderFactory(decoderFlags{Name: name, BPIters: 10, Phi: 2, WMax: 1}); err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -19,12 +20,15 @@ import (
 	"sync"
 	"time"
 
+	"bpsf/internal/code"
 	"bpsf/internal/codes"
+	"bpsf/internal/decoding"
 	"bpsf/internal/dem"
 	"bpsf/internal/gf2"
 	"bpsf/internal/memexp"
 	"bpsf/internal/service"
 	"bpsf/internal/sim"
+	"bpsf/internal/window"
 )
 
 func main() {
@@ -48,6 +52,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampler and stream seed base")
 	deadline := flag.Duration("deadline", 0, "server queue deadline (0 = backpressure, never shed)")
 	maxShed := flag.Int("max-shed", -1, "exit nonzero when more responses were shed (-1 = no check)")
+	windowRounds := flag.Int("window", 0,
+		"streaming mode: open windowed decode streams of this many rounds instead of batches (0 = batch mode)")
+	commitRounds := flag.Int("commit", 1, "committed rounds per stream window (streaming mode)")
+	replay := flag.Bool("replay", false,
+		"streaming mode: replay the first recorded round stream and require byte-identical commits (library + service)")
 	flag.Parse()
 
 	entry, ok := codes.Catalog()[*codeName]
@@ -79,6 +88,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s, %d rounds, %d mechanisms, p=%g, decoder %s\n", css.Name, r, d.NumMechs(), *p, spec)
+
+	if *windowRounds > 0 {
+		runStreamLoad(streamLoadConfig{
+			addr: *addr, codeName: *codeName, rounds: r, p: *p, spec: spec,
+			window: *windowRounds, commit: *commitRounds,
+			sessions: *sessions, streams: *shots, mode: *mode, rate: *rate,
+			seed: *seed, deadline: *deadline, replay: *replay, maxShed: *maxShed,
+			css: css, d: d,
+		})
+		return
+	}
 	fmt.Printf("%s-loop: %d sessions, %d shots, batch %d\n", *mode, *sessions, *shots, *batch)
 
 	perSession := (*shots + *sessions - 1) / *sessions
@@ -207,4 +227,243 @@ func main() {
 	if *maxShed >= 0 && shed > *maxShed {
 		log.Fatalf("shed %d responses, budget %d", shed, *maxShed)
 	}
+}
+
+// ---- streaming mode ----
+
+type streamLoadConfig struct {
+	addr, codeName string
+	rounds         int
+	p              float64
+	spec           service.Spec
+	window, commit int
+	sessions       int
+	streams        int // total streams across sessions (one multi-round shot each)
+	mode           string
+	rate           float64 // total round arrivals/s (open mode)
+	seed           int64
+	deadline       time.Duration
+	replay         bool
+	maxShed        int
+	css            *code.CSS
+	d              *dem.DEM
+}
+
+// splitRounds slices a full multi-round syndrome into per-round vectors
+// along the stream's advertised layout.
+func splitRounds(s gf2.Vec, detsPerRound []int) []gf2.Vec {
+	out := make([]gf2.Vec, len(detsPerRound))
+	off := 0
+	for ri, nd := range detsPerRound {
+		v := gf2.NewVec(nd)
+		for i := 0; i < nd; i++ {
+			if s.Get(off + i) {
+				v.Set(i, true)
+			}
+		}
+		out[ri] = v
+		off += nd
+	}
+	return out
+}
+
+// runStreamLoad drives the windowed stream plane: every "shot" is a full
+// multi-round syndrome stream pushed round by round (open loop paces round
+// arrivals at -rate regardless of commit completions), reporting
+// per-commit latency percentiles — server-side (round arrival → commit)
+// and client-observed (last needed round sent → commit received). Streams
+// never shed; the -max-shed gate therefore passes iff the run completes.
+func runStreamLoad(cfg streamLoadConfig) {
+	fmt.Printf("%s-loop streaming: %d sessions, %d streams, window %d commit %d\n",
+		cfg.mode, cfg.sessions, cfg.streams, cfg.window, cfg.commit)
+	var interval time.Duration
+	if cfg.mode == "open" {
+		if cfg.rate <= 0 {
+			log.Fatal("-mode open needs -rate > 0")
+		}
+		interval = time.Duration(float64(cfg.sessions) / cfg.rate * float64(time.Second))
+	} else if cfg.mode != "closed" {
+		log.Fatalf("unknown mode %q (want closed|open)", cfg.mode)
+	}
+	perSession := (cfg.streams + cfg.sessions - 1) / cfg.sessions
+
+	var mu sync.Mutex
+	var serverLat, clientLat []time.Duration
+	var windows, streamFails, streamsRun int
+	var recordedRounds []gf2.Vec // session 0, stream 0 (for -replay)
+	var recordedHat []byte
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.sessions)
+	t0 := time.Now()
+	for s := 0; s < cfg.sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h := service.Hello{
+				Code: cfg.codeName, Rounds: cfg.rounds, P: cfg.p,
+				StreamSeed: cfg.seed + int64(s)*1000,
+				Deadline:   cfg.deadline,
+				Spec:       cfg.spec,
+			}
+			c, err := service.Dial(cfg.addr, h)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: %w", s, err)
+				return
+			}
+			defer c.Close()
+			sampler := dem.NewSampler(cfg.d, cfg.p, cfg.seed+int64(s))
+			next := time.Now()
+			for shot := 0; shot < perSession; shot++ {
+				st, err := c.OpenStream(cfg.window, cfg.commit)
+				if err != nil {
+					errs <- fmt.Errorf("session %d stream %d: %w", s, shot, err)
+					return
+				}
+				dets := make([]int, st.NumRounds())
+				for ri := range dets {
+					dets[ri] = st.RoundDets(ri)
+				}
+				syn, _ := sampler.SampleShared()
+				rounds := splitRounds(syn, dets)
+				spans := st.Spans()
+
+				var sendMu sync.Mutex
+				sendT := make([]time.Time, len(rounds))
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for {
+						cm, err := st.NextCommit()
+						if err != nil {
+							return
+						}
+						recvT := time.Now()
+						lastRound := spans[cm.Window].End - 1
+						sendMu.Lock()
+						sent := sendT[lastRound]
+						sendMu.Unlock()
+						mu.Lock()
+						serverLat = append(serverLat, cm.Latency)
+						clientLat = append(clientLat, recvT.Sub(sent))
+						windows++
+						mu.Unlock()
+						if cm.Final {
+							return
+						}
+					}
+				}()
+				for ri, rv := range rounds {
+					if interval > 0 {
+						if d := time.Until(next); d > 0 {
+							time.Sleep(d)
+						}
+						next = next.Add(interval)
+					}
+					sendMu.Lock()
+					sendT[ri] = time.Now()
+					sendMu.Unlock()
+					if err := st.SendRounds([]gf2.Vec{rv}); err != nil {
+						errs <- fmt.Errorf("session %d stream %d: %w", s, shot, err)
+						return
+					}
+				}
+				<-done
+				res, err := st.Finish()
+				if err != nil {
+					errs <- fmt.Errorf("session %d stream %d: %w", s, shot, err)
+					return
+				}
+				mu.Lock()
+				streamsRun++
+				if !res.Success {
+					streamFails++
+				}
+				if s == 0 && shot == 0 {
+					recordedRounds = rounds
+					recordedHat = res.ErrHat.AppendBytes(nil)
+				}
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatal(err)
+	}
+	wall := time.Since(t0)
+
+	fmt.Printf("\n%d streams (%d windows committed), %d stream failures, 0 shed in %v  →  %.0f windows/s\n",
+		streamsRun, windows, streamFails, wall.Round(time.Millisecond),
+		float64(windows)/wall.Seconds())
+	ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
+	srv := sim.Summarize(serverLat)
+	cli := sim.Summarize(clientLat)
+	tb := sim.NewTable("per-commit latency", "n", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms", "max ms")
+	tb.Row("server (arrival→commit)", srv.N, ms(srv.P50), ms(srv.P95), ms(srv.P99), ms(srv.P999), ms(srv.Max))
+	tb.Row("client (send→commit)", cli.N, ms(cli.P50), ms(cli.P95), ms(cli.P99), ms(cli.P999), ms(cli.Max))
+	if err := tb.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if cfg.replay {
+		verifyReplay(cfg, recordedRounds, recordedHat)
+	}
+	if cfg.maxShed >= 0 {
+		fmt.Println("shed budget met: streams never shed")
+	}
+}
+
+// verifyReplay re-decodes the recorded round stream two independent ways —
+// through the library windowed decoder under the session's deterministic
+// seed, and through a fresh service session — and requires the committed
+// corrections to be byte-identical to the recorded run (the streaming
+// determinism contract, DESIGN.md §7).
+func verifyReplay(cfg streamLoadConfig, rounds []gf2.Vec, wantHat []byte) {
+	if len(rounds) == 0 {
+		log.Fatal("replay: no recorded stream")
+	}
+	layout := window.MemexpLayout(cfg.css, cfg.rounds)
+	wd, err := window.New(cfg.d.H, cfg.d.Priors(cfg.p), layout, cfg.window, cfg.commit,
+		decoding.Factory(cfg.spec.NewDecoder))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wd.Reseed(service.RequestSeed(cfg.seed, 0)) // session 0, stream 0
+	st := wd.NewStream()
+	for _, rv := range rounds {
+		if _, err := st.PushRound(rv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if got := st.Finish().ErrHat.AppendBytes(nil); !bytes.Equal(got, wantHat) {
+		log.Fatal("replay: library windowed decode diverges from the recorded service stream")
+	}
+
+	c, err := service.Dial(cfg.addr, service.Hello{
+		Code: cfg.codeName, Rounds: cfg.rounds, P: cfg.p,
+		StreamSeed: cfg.seed, Deadline: cfg.deadline, Spec: cfg.spec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	cs, err := c.OpenStream(cfg.window, cfg.commit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rv := range rounds {
+		if err := cs.SendRounds([]gf2.Vec{rv}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := cs.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := res.ErrHat.AppendBytes(nil); !bytes.Equal(got, wantHat) {
+		log.Fatal("replay: service stream replay diverges from the recorded run")
+	}
+	fmt.Println("replay: byte-identical (library windowed decode + service stream replay)")
 }

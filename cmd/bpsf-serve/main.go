@@ -36,6 +36,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 1024, "admission queue bound per pool")
 	maxBatch := flag.Int("max-batch", 32, "adaptive coalescing cap")
 	decoders := flag.String("decoders", "", "served decoder kinds, comma-separated (empty = all of "+fmt.Sprint(service.SpecKinds())+")")
+	windowRounds := flag.Int("window", 3, "default sliding-window size for streams opened without one")
+	commitRounds := flag.Int("commit", 1, "default committed rounds per stream window")
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "session grace period on shutdown")
 	statsEvery := flag.Duration("stats", 0, "periodic stats interval (0 = only on exit)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
@@ -49,18 +51,23 @@ func main() {
 	if *quiet {
 		logf = func(string, ...interface{}) {}
 	}
+	if *commitRounds < 1 || *commitRounds > *windowRounds {
+		log.Fatalf("need 1 ≤ -commit ≤ -window, got -window %d -commit %d", *windowRounds, *commitRounds)
+	}
 	srv := service.NewServer(service.Options{
 		PoolSize:     *poolSize,
 		QueueDepth:   *queueDepth,
 		MaxBatch:     *maxBatch,
 		AllowedKinds: allowed,
+		StreamWindow: *windowRounds,
+		StreamCommit: *commitRounds,
 		Logf:         logf,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (pool-size=%d queue-depth=%d max-batch=%d)",
-		srv.Addr(), *poolSize, *queueDepth, *maxBatch)
+	log.Printf("listening on %s (pool-size=%d queue-depth=%d max-batch=%d stream-window=%d commit=%d)",
+		srv.Addr(), *poolSize, *queueDepth, *maxBatch, *windowRounds, *commitRounds)
 
 	if *statsEvery > 0 {
 		ticker := time.NewTicker(*statsEvery)
@@ -68,6 +75,7 @@ func main() {
 		go func() {
 			for range ticker.C {
 				printStats(srv.Stats())
+				printStreamStats(srv.StreamingStats())
 			}
 		}()
 	}
@@ -78,6 +86,7 @@ func main() {
 	log.Printf("%v: draining (grace %v)", sig, *drainGrace)
 	stats := srv.Drain(*drainGrace)
 	printStats(stats)
+	printStreamStats(srv.StreamingStats())
 }
 
 // parseDecoderKinds resolves the -decoders allowlist: a comma-separated
@@ -103,6 +112,21 @@ func parseDecoderKinds(s string) ([]string, error) {
 		out = append(out, name)
 	}
 	return out, nil
+}
+
+// printStreamStats reports the windowed-stream plane (nothing when no
+// stream was ever opened).
+func printStreamStats(st service.StreamStats) {
+	if st.Opened == 0 {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	tb := sim.NewTable("streams", "windows", "commit p50 ms", "p95 ms", "p99 ms", "p99.9 ms", "max ms")
+	tb.Row(st.Opened, st.Windows,
+		ms(st.Latency.P50), ms(st.Latency.P95), ms(st.Latency.P99), ms(st.Latency.P999), ms(st.Latency.Max))
+	if err := tb.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func printStats(stats []service.PoolStats) {

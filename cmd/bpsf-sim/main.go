@@ -10,6 +10,7 @@
 //	bpsf-sim -code coprime154 -model capacity -decoder bposd -p 0.05 \
 //	         -bp-iters 1000 -osd-order 10
 //	bpsf-sim -code rsurf5 -model capacity -decoder uf -p 0.001 -shots 20000
+//	bpsf-sim -code rsurf5 -model circuit -decoder uf -window 3 -commit 1 -p 0.001
 package main
 
 import (
@@ -19,14 +20,12 @@ import (
 	"os"
 	"runtime"
 
-	"bpsf/internal/bp"
-	"bpsf/internal/bpsf"
 	"bpsf/internal/codes"
 	"bpsf/internal/dem"
 	"bpsf/internal/experiments"
 	"bpsf/internal/memexp"
-	"bpsf/internal/osd"
 	"bpsf/internal/sim"
+	"bpsf/internal/window"
 )
 
 func main() {
@@ -48,6 +47,9 @@ func main() {
 	wmax := flag.Int("wmax", 10, "BP-SF maximum trial weight")
 	ns := flag.Int("ns", 10, "BP-SF sampled trials per weight (0 = exhaustive)")
 	trialWorkers := flag.Int("trial-workers", 0, "BP-SF parallel trial workers (within one decode)")
+	windowRounds := flag.Int("window", 0,
+		"sliding-window size in rounds: wrap the decoder in the streaming window scheduler (0 = whole-history decode)")
+	commitRounds := flag.Int("commit", 1, "committed rounds per window (with -window)")
 	workers := flag.Int("workers", runtime.NumCPU(),
 		"Monte-Carlo shard workers (results are identical for any value)")
 	flag.Parse()
@@ -61,7 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mk, err := decoderFactory(decoderFlags{
+	flags := decoderFlags{
 		Name:         *decoder,
 		BPIters:      *bpIters,
 		Layered:      *layered,
@@ -70,21 +72,31 @@ func main() {
 		WMax:         *wmax,
 		NS:           *ns,
 		TrialWorkers: *trialWorkers,
+		Window:       *windowRounds,
+		Commit:       *commitRounds,
 		Seed:         *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	cfg := sim.Config{P: *p, Shots: *shots, Seed: *seed, MaxLogicalErrors: *maxErrs, Workers: *workers}
 	var res *sim.Result
 	switch *model {
 	case "capacity":
+		// rows-as-rounds layout for -window (the zero Layout default)
+		mk, ferr := decoderFactory(flags)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
 		res, err = sim.RunCapacity(css, mk, cfg)
 	case "circuit":
 		r := *rounds
 		if r == 0 {
 			r = entry.Rounds
+		}
+		// window the circuit problem along the memory-experiment rounds
+		flags.Layout = window.MemexpLayout(css, r)
+		mk, ferr := decoderFactory(flags)
+		if ferr != nil {
+			log.Fatal(ferr)
 		}
 		circ, berr := memexp.Build(css, r, memexp.Uniform())
 		if berr != nil {
@@ -112,45 +124,15 @@ func main() {
 	}
 }
 
-// decoderFlags carries the -decoder flag and its tuning companions.
-type decoderFlags struct {
-	Name         string
-	BPIters      int
-	Layered      bool
-	OSDOrder     int
-	Phi, WMax    int
-	NS           int
-	TrialWorkers int
-	Seed         int64
-}
+// decoderFlags carries the -decoder flag and its tuning companions
+// (alias of the shared experiments.CLIDecoderFlags).
+type decoderFlags = experiments.CLIDecoderFlags
 
-// decoderFactory resolves the flag set to a sim decoder factory by
-// building the equivalent experiments.Spec (one construction switch for
-// the whole repo). Unknown decoder names report the available set (the
-// CLI exits non-zero on the returned error).
+// decoderFactory resolves the flag set to a sim decoder factory through
+// experiments.CLIFactory (one construction switch for the whole repo).
+// Unknown decoder names report the available set (the CLI exits non-zero
+// on the returned error); -window wraps the selection in the
+// sliding-window scheduler.
 func decoderFactory(f decoderFlags) (sim.Factory, error) {
-	if _, ok := sim.Constructors()[f.Name]; !ok {
-		return nil, fmt.Errorf("unknown decoder %q (available: %v)", f.Name, sim.DecoderNames())
-	}
-	sched := bp.Flooding
-	if f.Layered {
-		sched = bp.Layered
-	}
-	policy := bpsf.Sampled
-	if f.NS == 0 {
-		policy = bpsf.Exhaustive
-	}
-	spec := experiments.Spec{
-		Kind:      f.Name,
-		BPIters:   f.BPIters,
-		Schedule:  sched,
-		OSDMethod: osd.OSDCS,
-		OSDOrder:  f.OSDOrder,
-		Phi:       f.Phi,
-		WMax:      f.WMax,
-		NS:        f.NS,
-		Policy:    policy,
-		Workers:   f.TrialWorkers,
-	}
-	return spec.Factory(f.Seed), nil
+	return experiments.CLIFactory(f)
 }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/bpsf"
+	"bpsf/internal/osd"
+	"bpsf/internal/sim"
+	"bpsf/internal/window"
+)
+
+// CLIDecoderFlags carries a CLI's -decoder flag and its tuning companions;
+// CLIFactory is the one flag→factory construction switch shared by
+// bpsf-sim, bpsf-latency and (through Opts.Decoder validation) bpsf-figs.
+type CLIDecoderFlags struct {
+	Name         string
+	BPIters      int
+	Layered      bool
+	OSDOrder     int
+	Phi, WMax    int
+	NS           int
+	TrialWorkers int
+	Seed         int64
+	// Window > 0 wraps the selected decoder in the sliding-window scheduler
+	// (Commit defaults to 1). Layout selects the round slicing; zero means
+	// rows-as-rounds (code capacity).
+	Window, Commit int
+	Layout         window.Layout
+}
+
+// CLIFactory resolves the flag set to a sim decoder factory. Unknown
+// decoder names report the available set (the CLIs exit non-zero on the
+// returned error). The pseudo-decoder name "windowed" (the registry's
+// windowed wrapper) selects the default BP-OSD inner under a window of 3
+// unless -window overrides it.
+func CLIFactory(f CLIDecoderFlags) (sim.Factory, error) {
+	if _, ok := sim.Constructors()[f.Name]; !ok {
+		return nil, fmt.Errorf("unknown decoder %q (available: %v)", f.Name, sim.DecoderNames())
+	}
+	kind := f.Name
+	w, c := f.Window, f.Commit
+	if kind == "windowed" {
+		kind = "bposd"
+		if w == 0 {
+			w = 3
+		}
+	}
+	if c == 0 {
+		c = 1
+	}
+	if w > 0 && c > w {
+		return nil, fmt.Errorf("-commit %d exceeds -window %d", c, w)
+	}
+	sched := bp.Flooding
+	if f.Layered {
+		sched = bp.Layered
+	}
+	policy := bpsf.Sampled
+	if f.NS == 0 {
+		policy = bpsf.Exhaustive
+	}
+	spec := Spec{
+		Kind:      kind,
+		BPIters:   f.BPIters,
+		Schedule:  sched,
+		OSDMethod: osd.OSDCS,
+		OSDOrder:  f.OSDOrder,
+		Phi:       f.Phi,
+		WMax:      f.WMax,
+		NS:        f.NS,
+		Policy:    policy,
+		Workers:   f.TrialWorkers,
+	}
+	if w > 0 {
+		spec.Window, spec.Commit, spec.WLayout = w, c, f.Layout
+	}
+	return spec.Factory(f.Seed), nil
+}
+
+// ValidDecoderName reports whether name is a registered -decoder value,
+// erroring with the available set otherwise (empty means "no filter" and
+// is accepted).
+func ValidDecoderName(name string) error {
+	if name == "" {
+		return nil
+	}
+	if _, ok := sim.Constructors()[name]; !ok {
+		return fmt.Errorf("unknown decoder %q (available: %v)", name, sim.DecoderNames())
+	}
+	return nil
+}

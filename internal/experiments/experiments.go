@@ -30,6 +30,7 @@ import (
 	"bpsf/internal/osd"
 	"bpsf/internal/sim"
 	"bpsf/internal/sparse"
+	"bpsf/internal/window"
 )
 
 // Opts controls the scale of a harness run.
@@ -46,6 +47,12 @@ type Opts struct {
 	// grid cells and the sharded Monte-Carlo engine inside each cell
 	// (0 = runtime.NumCPU()). Results are bit-identical for any value.
 	Workers int
+	// Decoder restricts decoder-grid sweeps to one registered kind (the
+	// bpsf-figs -decoder flag): "" keeps each figure's full grid, a kind
+	// name keeps its entries of that kind (windowed wrappers match their
+	// inner kind; "windowed" keeps exactly the windowed entries). Harnesses
+	// without a decoder grid ignore it.
+	Decoder string
 }
 
 func (o Opts) out() io.Writer {
@@ -116,6 +123,27 @@ type Spec struct {
 	TrialIters int
 	Workers    int
 	DecodeAll  bool
+	// Window > 0 wraps the decoder in the sliding-window scheduler
+	// (internal/window): windows of Window rounds committing Commit
+	// (default 1), sliced by WLayout — or rows-as-rounds when WLayout is
+	// zero (code capacity).
+	Window, Commit int
+	WLayout        window.Layout
+}
+
+// Windowed wraps a spec in the sliding-window scheduler: windows of w
+// rounds committing c, sliced by layout.
+func Windowed(inner Spec, w, c int, layout window.Layout) Spec {
+	inner.Window, inner.Commit, inner.WLayout = w, c, layout
+	return inner
+}
+
+// MatchesKind reports whether the spec survives an Opts.Decoder filter.
+func (s Spec) MatchesKind(name string) bool {
+	if name == "windowed" {
+		return s.Window > 0
+	}
+	return s.Kind == name
 }
 
 // BPSpec is a plain-BP decoder entry.
@@ -146,6 +174,15 @@ func (s Spec) DisplayLabel() string {
 	if s.Label != "" {
 		return s.Label
 	}
+	if s.Window > 0 {
+		inner := s
+		inner.Window, inner.Commit = 0, 0
+		c := s.Commit
+		if c == 0 {
+			c = 1
+		}
+		return fmt.Sprintf("W%dC%d[%s]", s.Window, c, inner.DisplayLabel())
+	}
 	switch s.Kind {
 	case "uf":
 		return "UF"
@@ -167,8 +204,22 @@ func (s Spec) DisplayLabel() string {
 	}
 }
 
-// Factory converts the spec into a sim decoder factory.
+// Factory converts the spec into a sim decoder factory. A windowed spec
+// (Window > 0) builds its inner factory and wraps it in the sliding-window
+// scheduler.
 func (s Spec) Factory(seed int64) sim.Factory {
+	if s.Window > 0 {
+		inner := s
+		inner.Window, inner.Commit, inner.WLayout = 0, 0, window.Layout{}
+		c := s.Commit
+		if c == 0 {
+			c = 1
+		}
+		if len(s.WLayout.Starts) > 0 {
+			return sim.NewWindowedOver(inner.Factory(seed), s.WLayout, s.Window, c)
+		}
+		return sim.NewWindowed(inner.Factory(seed), s.Window, c)
+	}
 	return func(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
 		switch s.Kind {
 		case "uf":
@@ -262,9 +313,32 @@ func sweepGrid(specs []Spec, ps []float64, o Opts,
 	return mcs, err
 }
 
+// filterSpecs applies the Opts.Decoder restriction to a sweep's decoder
+// grid; an empty result is an error so a typo'd or inapplicable filter
+// cannot silently produce an empty figure.
+func (o Opts) filterSpecs(specs []Spec) ([]Spec, error) {
+	if o.Decoder == "" {
+		return specs, nil
+	}
+	var out []Spec
+	for _, s := range specs {
+		if s.MatchesKind(o.Decoder) {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: -decoder %s matches no decoder in this grid", o.Decoder)
+	}
+	return out, nil
+}
+
 // capacitySweep runs a decoder grid over a code-capacity error-rate grid.
 func capacitySweep(name string, css *code.CSS, specs []Spec, ps []float64, shots int, o Opts) (FigureResult, error) {
 	res := FigureResult{Name: name}
+	specs, err := o.filterSpecs(specs)
+	if err != nil {
+		return res, err
+	}
 	mcs, err := sweepGrid(specs, ps, o, func(spec Spec, pi int, workers int) (*sim.Result, error) {
 		return sim.RunCapacity(css, spec.Factory(o.seed()+int64(pi)), sim.Config{
 			P: ps[pi], Shots: shots, Seed: o.seed() + int64(pi)*1000, Workers: workers,
@@ -304,6 +378,9 @@ func circuitSweep(name, codeName string, quickRounds int, specs []Spec, ps []flo
 	res := FigureResult{
 		Name:  name,
 		Notes: fmt.Sprintf("rounds=%d (paper: %d), mechanisms=%d", rounds, codes.Catalog()[codeName].Rounds, d.NumMechs()),
+	}
+	if specs, err = o.filterSpecs(specs); err != nil {
+		return res, err
 	}
 	mcs, err := sweepGrid(specs, ps, o, func(spec Spec, pi int, workers int) (*sim.Result, error) {
 		return sim.RunCircuit(d, rounds, spec.Factory(o.seed()+int64(pi)), sim.Config{

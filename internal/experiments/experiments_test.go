@@ -95,6 +95,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig17a", "fig17b", "fig17c", "table1", "table2", "table3",
 		"ablation-damping", "ablation-trials", "ablation-first-success",
 		"ablation-variant", "service-latency", "uf-vs-bposd",
+		"window-accuracy",
 	}
 	reg := Registry()
 	for _, name := range want {

@@ -77,6 +77,33 @@ var fig17cGolden = []PointStat{
 	{"BP1000", 0.004, 25, 5},
 }
 
+var windowGolden = []PointStat{
+	{"rsurf5 UF", 0.001, 40, 0},
+	{"rsurf5 UF", 0.003, 40, 0},
+	{"rsurf5 W2C1[UF]", 0.001, 40, 0},
+	{"rsurf5 W2C1[UF]", 0.003, 40, 0},
+	{"rsurf5 W3C1[UF]", 0.001, 40, 0},
+	{"rsurf5 W3C1[UF]", 0.003, 40, 0},
+	{"rsurf5 BP100-OSD5", 0.001, 40, 0},
+	{"rsurf5 BP100-OSD5", 0.003, 40, 0},
+	{"rsurf5 W2C1[BP100-OSD5]", 0.001, 40, 0},
+	{"rsurf5 W2C1[BP100-OSD5]", 0.003, 40, 0},
+	{"rsurf5 W3C1[BP100-OSD5]", 0.001, 40, 0},
+	{"rsurf5 W3C1[BP100-OSD5]", 0.003, 40, 0},
+	{"bb72 UF", 0.001, 40, 7},
+	{"bb72 UF", 0.003, 40, 30},
+	{"bb72 W2C1[UF]", 0.001, 40, 7},
+	{"bb72 W2C1[UF]", 0.003, 40, 31},
+	{"bb72 W3C1[UF]", 0.001, 40, 7},
+	{"bb72 W3C1[UF]", 0.003, 40, 32},
+	{"bb72 BP100-OSD5", 0.001, 40, 0},
+	{"bb72 BP100-OSD5", 0.003, 40, 0},
+	{"bb72 W2C1[BP100-OSD5]", 0.001, 40, 0},
+	{"bb72 W2C1[BP100-OSD5]", 0.003, 40, 3},
+	{"bb72 W3C1[BP100-OSD5]", 0.001, 40, 0},
+	{"bb72 W3C1[BP100-OSD5]", 0.003, 40, 0},
+}
+
 func checkGolden(t *testing.T, name string, shots int, golden []PointStat) {
 	t.Helper()
 	for _, workers := range []int{1, 8} {
@@ -150,6 +177,39 @@ func TestUFvsBPOSDGolden(t *testing.T) {
 		bposd := fails(code+" BP1000-OSD10", 0.001)
 		if limit := 2 * max(bposd, 1); uf > limit {
 			t.Errorf("%s at p=1e-3: UF failures %d exceed 2× BP-OSD bound %d", code, uf, limit)
+		}
+	}
+}
+
+// TestWindowAccuracyGolden pins the sliding-window experiment (windowed
+// vs whole-history decoding, memexp layout, quick scale) at two worker
+// counts and asserts the window-subsystem acceptance bound: at p = 1e-3,
+// windowed (W=3, C=1) failures stay within 2× of the whole-history decode
+// for BOTH inner decoders (UF and BP-OSD) on both codes (with a
+// one-failure floor so zero-failure grids cannot mask a regression).
+func TestWindowAccuracyGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden Monte Carlo sweep skipped in -short")
+	}
+	checkGolden(t, "window-accuracy", 40, windowGolden)
+
+	fails := func(decoder string, p float64) int {
+		for _, row := range windowGolden {
+			if row.Decoder == decoder && row.P == p {
+				return row.Failures
+			}
+		}
+		t.Fatalf("no golden row for %s at p=%g", decoder, p)
+		return 0
+	}
+	for _, code := range []string{"rsurf5", "bb72"} {
+		for _, inner := range []string{"UF", "BP100-OSD5"} {
+			whole := fails(code+" "+inner, 0.001)
+			windowed := fails(code+" W3C1["+inner+"]", 0.001)
+			if limit := 2 * max(whole, 1); windowed > limit {
+				t.Errorf("%s at p=1e-3: windowed %s failures %d exceed 2× whole-history bound %d",
+					code, inner, windowed, limit)
+			}
 		}
 	}
 }

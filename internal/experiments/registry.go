@@ -39,6 +39,7 @@ func Registry() map[string]Harness {
 
 		"service-latency": ServiceLatency,
 		"uf-vs-bposd":     UFvsBPOSD,
+		"window-accuracy": WindowAccuracy,
 	}
 }
 

@@ -29,10 +29,16 @@ type Client struct {
 
 	sendMu sync.Mutex // serializes frame writes
 
-	mu      sync.Mutex // guards pending/nextID/err
+	mu      sync.Mutex // guards pending/opens/streams/nextID/err
 	pending map[uint64]*Pending
+	opens   []*pendingOpen // StreamOpens awaiting ack, in send order
+	streams map[uint64]*ClientStream
 	nextID  uint64
 	err     error
+	// done closes when the session fails; stream readers select on it so a
+	// dead session never strands them (commit channels are closed only by
+	// recvLoop, which owns delivery).
+	done chan struct{}
 }
 
 // Pending is an in-flight batch; Wait blocks for its responses.
@@ -65,6 +71,8 @@ func Dial(addr string, h Hello) (*Client, error) {
 		bw:       bufio.NewWriter(conn),
 		maxFrame: defaultMaxFrame,
 		pending:  make(map[uint64]*Pending),
+		streams:  make(map[uint64]*ClientStream),
+		done:     make(chan struct{}),
 	}
 	payload, err := appendHello(nil, h)
 	if err != nil {
@@ -224,6 +232,52 @@ func (c *Client) recvLoop() {
 			}
 			p.resps = resps
 			close(p.done)
+		case msgStreamAck:
+			ack, err := parseStreamAck(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			if len(c.opens) == 0 {
+				c.mu.Unlock()
+				c.fail(fmt.Errorf("service: unsolicited stream ack"))
+				return
+			}
+			po := c.opens[0]
+			c.opens = c.opens[1:]
+			c.mu.Unlock()
+			po.ack = ack
+			close(po.done)
+		case msgStreamCommit:
+			m, err := parseStreamCommit(payload, (c.numMechs+7)/8)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			st := c.streams[m.id]
+			if st != nil && m.flags&flagStreamFinal != 0 {
+				delete(c.streams, m.id)
+			}
+			c.mu.Unlock()
+			if st == nil {
+				c.fail(fmt.Errorf("service: commit for unknown stream %d", m.id))
+				return
+			}
+			st.commits <- StreamCommit{
+				Window:        m.window,
+				FirstRound:    m.firstRound,
+				EndRound:      m.endRound,
+				WindowSuccess: m.flags&flagStreamWindowOK != 0,
+				Final:         m.flags&flagStreamFinal != 0,
+				StreamSuccess: m.flags&flagStreamOK != 0,
+				Latency:       m.latency,
+				Mechs:         m.mechs,
+			}
+			if m.flags&flagStreamFinal != 0 {
+				close(st.commits)
+			}
 		case msgError:
 			c.fail(fmt.Errorf("service: server error: %s", parseErrorBody(payload)))
 			return
@@ -240,10 +294,19 @@ func (c *Client) fail(err error) {
 	defer c.mu.Unlock()
 	if c.err == nil {
 		c.err = err
+		close(c.done)
 	}
 	for id, p := range c.pending {
 		p.err = c.err
 		close(p.done)
 		delete(c.pending, id)
+	}
+	for _, po := range c.opens {
+		po.err = c.err
+		close(po.done)
+	}
+	c.opens = nil
+	for id := range c.streams {
+		delete(c.streams, id)
 	}
 }

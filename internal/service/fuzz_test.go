@@ -21,6 +21,11 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(appendHelloAck(nil, helloAck{sessionID: 1, numDets: 24, numMechs: 201, poolSize: 2}), uint8(26))
 	f.Add(appendBatchHeader(nil, 3, 0), uint8(0))
 	f.Add(appendError(nil, "boom"), uint8(1))
+	f.Add(appendStreamOpen(nil, 3, 1), uint8(2))
+	f.Add(appendStreamAck(nil, streamAck{id: 9, window: 3, commit: 1, detsPerRound: []int{4, 8, 4}}), uint8(3))
+	f.Add(appendStreamRoundsHeader(nil, 9, 0, 1), uint8(4))
+	f.Add(appendStreamCommit(nil, streamCommitMsg{id: 9, window: 0, flags: flagStreamWindowOK,
+		firstRound: 0, endRound: 1, latency: time.Millisecond, mechs: []byte{0xAB}}), uint8(1))
 	f.Add([]byte{}, uint8(0))
 	f.Add([]byte{msgBatch, 0xff}, uint8(255))
 	f.Fuzz(func(t *testing.T, payload []byte, widthSeed uint8) {
@@ -32,6 +37,10 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		parseBatch(payload, width)
 		parseBatchReply(payload, width)
 		parseErrorBody(payload)
+		parseStreamOpen(payload)
+		parseStreamAck(payload)
+		parseStreamRounds(payload, []int{width, 8 * width, 1})
+		parseStreamCommit(payload, width)
 
 		// 2. Frame layer round-trip: decode(encode(x)) == x.
 		if len(payload) > 0 && len(payload) <= defaultMaxFrame {
@@ -73,6 +82,35 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			h.P, h2.P = 0, 0
 			if h2 != h || pBits != p2Bits {
 				t.Fatalf("hello round-trip: %+v (P=%#x) != %+v (P=%#x)", h2, p2Bits, h, pBits)
+			}
+		}
+
+		// 5. Structured stream-frame round-trips when the payload parses:
+		// re-encoding a parsed StreamAck / StreamCommit must reproduce it.
+		if a, err := parseStreamAck(payload); err == nil {
+			a2, err := parseStreamAck(appendStreamAck(nil, a))
+			if err != nil {
+				t.Fatalf("re-parse encoded stream ack: %v", err)
+			}
+			if a2.id != a.id || a2.window != a.window || a2.commit != a.commit ||
+				len(a2.detsPerRound) != len(a.detsPerRound) {
+				t.Fatalf("stream ack round-trip: %+v != %+v", a2, a)
+			}
+			for i := range a.detsPerRound {
+				if a2.detsPerRound[i] != a.detsPerRound[i] {
+					t.Fatalf("stream ack round-trip: %+v != %+v", a2, a)
+				}
+			}
+		}
+		if m, err := parseStreamCommit(payload, width); err == nil {
+			m2, err := parseStreamCommit(appendStreamCommit(nil, m), width)
+			if err != nil {
+				t.Fatalf("re-parse encoded stream commit: %v", err)
+			}
+			if m2.id != m.id || m2.window != m.window || m2.flags != m.flags ||
+				m2.firstRound != m.firstRound || m2.endRound != m.endRound ||
+				m2.latency != m.latency || !bytes.Equal(m2.mechs, m.mechs) {
+				t.Fatalf("stream commit round-trip: %+v != %+v", m2, m)
 			}
 		}
 	})

@@ -31,10 +31,21 @@ const (
 	msgBatch      = 3
 	msgBatchReply = 4
 	msgError      = 5
+	// Sliding-window streaming frames (DESIGN.md §7): a session may open
+	// round-by-round decode streams that coexist with its syndrome batches.
+	msgStreamOpen   = 6
+	msgStreamAck    = 7
+	msgStreamRounds = 8
+	msgStreamCommit = 9
 
 	// Response flags.
 	flagSuccess = 1 << 0
 	flagShed    = 1 << 1
+
+	// StreamCommit flags.
+	flagStreamWindowOK = 1 << 0 // the window's inner decode succeeded
+	flagStreamFinal    = 1 << 1 // last commit of the stream
+	flagStreamOK       = 1 << 2 // whole-stream verdict (valid with Final)
 
 	// defaultMaxFrame bounds a single frame (16 MiB ≈ 4k syndromes of the
 	// largest catalog DEM) so a corrupt length prefix cannot OOM the peer.
@@ -342,6 +353,146 @@ func parseBatch(payload []byte, detBytes int) (batchID uint64, syndromes [][]byt
 		syndromes[i] = r.bytes(detBytes)
 	}
 	return batchID, syndromes, r.err
+}
+
+// ---- streams ----
+
+// appendStreamOpen starts a windowed stream: window/commit round counts
+// (0, 0 selects the server defaults).
+func appendStreamOpen(b []byte, window, commit int) []byte {
+	b = append(b, msgStreamOpen)
+	b = appendU16(b, uint16(window))
+	b = appendU16(b, uint16(commit))
+	return b
+}
+
+func parseStreamOpen(payload []byte) (window, commit int, err error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgStreamOpen {
+		return 0, 0, fmt.Errorf("service: expected StreamOpen, got message type %d", t)
+	}
+	window = int(r.u16())
+	commit = int(r.u16())
+	return window, commit, r.err
+}
+
+// streamAck is the server's stream acceptance: the session-scoped stream
+// id, the resolved window/commit parameters and the per-round detector
+// counts of the layout (so the client can split syndromes into round
+// payloads without rebuilding the circuit).
+type streamAck struct {
+	id             uint64
+	window, commit int
+	detsPerRound   []int
+}
+
+func appendStreamAck(b []byte, a streamAck) []byte {
+	b = append(b, msgStreamAck)
+	b = appendU64(b, a.id)
+	b = appendU16(b, uint16(a.window))
+	b = appendU16(b, uint16(a.commit))
+	b = appendU16(b, uint16(len(a.detsPerRound)))
+	for _, n := range a.detsPerRound {
+		b = appendU32(b, uint32(n))
+	}
+	return b
+}
+
+func parseStreamAck(payload []byte) (streamAck, error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgStreamAck {
+		return streamAck{}, fmt.Errorf("service: expected StreamAck, got message type %d", t)
+	}
+	a := streamAck{id: r.u64(), window: int(r.u16()), commit: int(r.u16())}
+	rounds := int(r.u16())
+	for i := 0; i < rounds; i++ {
+		a.detsPerRound = append(a.detsPerRound, int(r.u32()))
+	}
+	if r.err == nil && r.rest() != 0 {
+		return streamAck{}, fmt.Errorf("service: stream ack frame carries %d trailing bytes", r.rest())
+	}
+	return a, r.err
+}
+
+// appendStreamRoundsHeader starts a StreamRounds frame; the caller appends
+// count packed rounds, each byte-aligned at its own round's detector
+// count.
+func appendStreamRoundsHeader(b []byte, id uint64, firstRound, count int) []byte {
+	b = append(b, msgStreamRounds)
+	b = appendU64(b, id)
+	b = appendU16(b, uint16(firstRound))
+	b = appendU16(b, uint16(count))
+	return b
+}
+
+// parseStreamRounds splits a StreamRounds payload into per-round byte
+// slices (views into payload), validated against the stream layout's
+// per-round detector counts.
+func parseStreamRounds(payload []byte, detsPerRound []int) (id uint64, firstRound int, rounds [][]byte, err error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgStreamRounds {
+		return 0, 0, nil, fmt.Errorf("service: expected StreamRounds, got message type %d", t)
+	}
+	id = r.u64()
+	firstRound = int(r.u16())
+	count := int(r.u16())
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	if count < 1 || firstRound+count > len(detsPerRound) {
+		return 0, 0, nil, fmt.Errorf("service: stream rounds [%d,%d) outside the %d-round layout",
+			firstRound, firstRound+count, len(detsPerRound))
+	}
+	rounds = make([][]byte, count)
+	for i := range rounds {
+		rounds[i] = r.bytes((detsPerRound[firstRound+i] + 7) / 8)
+	}
+	if r.err == nil && r.rest() != 0 {
+		return 0, 0, nil, fmt.Errorf("service: stream rounds frame carries %d trailing bytes", r.rest())
+	}
+	return id, firstRound, rounds, r.err
+}
+
+// streamCommitMsg is one window's committed correction on the wire.
+type streamCommitMsg struct {
+	id                   uint64
+	window               int
+	flags                byte
+	firstRound, endRound int
+	latency              time.Duration
+	mechs                []byte // packed committed-mechanism bitmap
+}
+
+func appendStreamCommit(b []byte, m streamCommitMsg) []byte {
+	b = append(b, msgStreamCommit)
+	b = appendU64(b, m.id)
+	b = appendU32(b, uint32(m.window))
+	b = append(b, m.flags)
+	b = appendU16(b, uint16(m.firstRound))
+	b = appendU16(b, uint16(m.endRound))
+	b = appendI64(b, int64(m.latency))
+	b = append(b, m.mechs...)
+	return b
+}
+
+func parseStreamCommit(payload []byte, mechBytes int) (streamCommitMsg, error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgStreamCommit {
+		return streamCommitMsg{}, fmt.Errorf("service: expected StreamCommit, got message type %d", t)
+	}
+	m := streamCommitMsg{
+		id:         r.u64(),
+		window:     int(r.u32()),
+		flags:      r.u8(),
+		firstRound: int(r.u16()),
+		endRound:   int(r.u16()),
+		latency:    time.Duration(r.i64()),
+	}
+	m.mechs = append([]byte(nil), r.bytes(mechBytes)...)
+	if r.err == nil && r.rest() != 0 {
+		return streamCommitMsg{}, fmt.Errorf("service: stream commit frame carries %d trailing bytes", r.rest())
+	}
+	return m, r.err
 }
 
 // replyItemFixedLen is the per-response fixed part: flags + iters +

@@ -35,6 +35,11 @@ type Options struct {
 	// AllowedKinds restricts the decoder kinds sessions may request (the
 	// bpsf-serve -decoders flag); empty allows every registered kind.
 	AllowedKinds []string
+	// StreamWindow/StreamCommit are the window and commit round counts
+	// applied to StreamOpen frames that leave them zero (defaults 3 and 1;
+	// the bpsf-serve -window/-commit flags).
+	StreamWindow int
+	StreamCommit int
 	// Logf receives serve-loop diagnostics (nil = silent).
 	Logf func(format string, args ...interface{})
 }
@@ -69,6 +74,12 @@ func (o Options) withDefaults() Options {
 	if o.Pipeline <= 0 {
 		o.Pipeline = 64
 	}
+	if o.StreamWindow <= 0 {
+		o.StreamWindow = 3
+	}
+	if o.StreamCommit <= 0 {
+		o.StreamCommit = 1
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...interface{}) {}
 	}
@@ -97,9 +108,14 @@ type Server struct {
 	ln          net.Listener
 	pools       sync.Map // pool key → *poolEntry
 	dems        sync.Map // code/rounds → *demEntry
+	windowPools sync.Map // pool key + W/C → *windowPoolEntry
 	sessions    sync.WaitGroup
 	nextSession atomic.Uint64
 	draining    atomic.Bool
+
+	streamsOpened  atomic.Uint64
+	windowsDecoded atomic.Uint64
+	streamLat      histogram
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -189,6 +205,16 @@ func (s *Server) closeConns() {
 	defer s.connMu.Unlock()
 	for c := range s.conns {
 		c.Close()
+	}
+}
+
+// StreamingStats snapshots the server's cumulative windowed-stream
+// counters and per-commit latency histogram.
+func (s *Server) StreamingStats() StreamStats {
+	return StreamStats{
+		Opened:  s.streamsOpened.Load(),
+		Windows: s.windowsDecoded.Load(),
+		Latency: s.streamLat.snapshot(),
 	}
 }
 
@@ -373,43 +399,75 @@ func (s *Server) session(conn net.Conn) {
 
 	// Read loop: frames arrive in stream order, so the per-session request
 	// index — and with it every RequestSeed — is a pure function of the
-	// syndrome stream.
+	// syndrome stream. Windowed streams (StreamOpen/StreamRounds) coexist
+	// with batches on the same connection: batches go through the warm
+	// pools, stream windows decode inline in this goroutine (bounded work
+	// per round) with their commits written through the shared write mutex.
 	reqIndex := 0
+	streams := newSessionStreams(s, h, p.dem.NumMechs())
+	defer streams.closeAll()
 	maxBatch := batchLimit(s.opts.MaxFrame, p.dem.NumDets, p.dem.NumMechs())
+read:
 	for {
 		payload, err := readFrame(br, s.opts.MaxFrame)
 		if err != nil {
 			break // EOF = client done; anything else ends the session too
 		}
-		batchID, syndromes, perr := parseBatch(payload, detBytes)
-		if perr == nil && len(syndromes) > maxBatch {
-			perr = fmt.Errorf("service: batch of %d syndromes exceeds session limit %d (reply would overflow the frame guard)",
-				len(syndromes), maxBatch)
-		}
-		if perr != nil {
-			fail(perr)
-			break
-		}
-		job := &batchJob{id: batchID, resps: make([]Response, len(syndromes))}
-		job.wg.Add(len(syndromes))
-		jobs <- job // reserve the reply slot before admission
-		now := time.Now()
-		for i, raw := range syndromes {
-			vec := gf2.NewVec(p.dem.NumDets)
-			if err := vec.SetBytes(raw); err != nil {
-				// parseBatch already checked lengths; defensive only
-				job.wg.Done()
-				continue
+		switch payload[0] {
+		case msgBatch:
+			batchID, syndromes, perr := parseBatch(payload, detBytes)
+			if perr == nil && len(syndromes) > maxBatch {
+				perr = fmt.Errorf("service: batch of %d syndromes exceeds session limit %d (reply would overflow the frame guard)",
+					len(syndromes), maxBatch)
 			}
-			p.submit(&request{
-				syndrome: vec,
-				seed:     RequestSeed(h.StreamSeed, reqIndex),
-				enqueued: now,
-				deadline: h.Deadline,
-				resp:     &job.resps[i],
-				wg:       &job.wg,
-			})
-			reqIndex++
+			if perr != nil {
+				fail(perr)
+				break read
+			}
+			job := &batchJob{id: batchID, resps: make([]Response, len(syndromes))}
+			job.wg.Add(len(syndromes))
+			jobs <- job // reserve the reply slot before admission
+			now := time.Now()
+			for i, raw := range syndromes {
+				vec := gf2.NewVec(p.dem.NumDets)
+				if err := vec.SetBytes(raw); err != nil {
+					// parseBatch already checked lengths; defensive only
+					job.wg.Done()
+					continue
+				}
+				p.submit(&request{
+					syndrome: vec,
+					seed:     RequestSeed(h.StreamSeed, reqIndex),
+					enqueued: now,
+					deadline: h.Deadline,
+					resp:     &job.resps[i],
+					wg:       &job.wg,
+				})
+				reqIndex++
+			}
+		case msgStreamOpen:
+			ack, oerr := streams.open(payload)
+			if oerr != nil {
+				fail(oerr)
+				break read
+			}
+			if err := writeOut(ack); err != nil {
+				break read
+			}
+		case msgStreamRounds:
+			replies, rerr := streams.rounds(payload, time.Now())
+			if rerr != nil {
+				fail(rerr)
+				break read
+			}
+			for _, reply := range replies {
+				if err := writeOut(reply); err != nil {
+					break read
+				}
+			}
+		default:
+			fail(fmt.Errorf("service: unexpected message type %d", payload[0]))
+			break read
 		}
 	}
 	close(jobs)

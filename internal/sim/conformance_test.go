@@ -16,8 +16,10 @@ import (
 
 	"bpsf/internal/code"
 	"bpsf/internal/codes"
+	"bpsf/internal/decoding"
 	"bpsf/internal/gf2"
 	"bpsf/internal/noise"
+	"bpsf/internal/window"
 )
 
 // conformanceCodes are the decoding problems of the suite: a matchable
@@ -78,6 +80,111 @@ func TestConformanceResidualSyndrome(t *testing.T) {
 				if converged == 0 {
 					t.Errorf("%s on %s (seed %d): no shot converged; the invariant was never exercised",
 						name, c.Name, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedConformanceResidualInvariant holds the sliding-window
+// wrapper to its commit induction over EVERY registered constructor: on a
+// round-by-round stream (rows-as-rounds, W=3, C=1), after each window whose
+// inner decodes have all succeeded so far, the residual syndrome below the
+// commit boundary is zero; and a fully successful stream reproduces the
+// input syndrome exactly. A decoder added to the registry is covered
+// automatically as a windowed inner.
+func TestWindowedConformanceResidualInvariant(t *testing.T) {
+	reg := Constructors()
+	css := conformanceCodes(t)
+	seeds := []int64{1, 12345}
+	const p, shotsPerSeed, w, c = 0.04, 30, 3, 1
+	for _, name := range DecoderNames() {
+		mk := reg[name]
+		for _, cs := range css {
+			rows := cs.HZ.Rows()
+			wd, err := window.New(cs.HZ, noise.UniformPriors(cs.N, noise.MarginalProb(p)),
+				window.RowRounds(rows), w, c, decoding.Factory(mk))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, cs.Name, err)
+			}
+			st := wd.NewStream()
+			for _, seed := range seeds {
+				wd.Reseed(seed)
+				sampler := noise.NewCapacitySampler(cs.N, p, seed)
+				ex := gf2.NewVec(cs.N)
+				ez := gf2.NewVec(cs.N)
+				s := gf2.NewVec(rows)
+				bits := gf2.NewVec(1)
+				converged := 0
+				for shot := 0; shot < shotsPerSeed; shot++ {
+					sampler.SampleInto(ex, ez)
+					cs.SyndromeOfXInto(s, ex)
+					st.Reset()
+					okSoFar := true
+					for r := 0; r < rows; r++ {
+						bits.Set(0, s.Get(r))
+						commits, err := st.PushRound(bits)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, cm := range commits {
+							okSoFar = okSoFar && cm.Success
+							if !okSoFar {
+								continue
+							}
+							// rows-as-rounds: round index == detector index
+							for det := 0; det < cm.EndRound; det++ {
+								if st.Residual().Get(det) {
+									t.Fatalf("%s on %s (seed %d, shot %d): residual row %d nonzero inside committed region [0,%d)",
+										name, cs.Name, seed, shot, det, cm.EndRound)
+								}
+							}
+						}
+					}
+					out := st.Finish()
+					if !out.Success {
+						continue
+					}
+					converged++
+					if got := cs.HZ.MulVec(out.ErrHat); !got.Equal(s) {
+						t.Fatalf("%s on %s (seed %d, shot %d): windowed Success but H·ErrHat != s",
+							name, cs.Name, seed, shot)
+					}
+				}
+				if converged == 0 {
+					t.Errorf("%s on %s (seed %d): no windowed shot converged; the invariant was never exercised",
+						name, cs.Name, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedConformanceWorkerInvariance runs the windowed wrapper of
+// every registered decoder through the sharded engine at several worker
+// counts: statistics must be bit-identical (the engine determinism
+// contract extended to the window subsystem).
+func TestWindowedConformanceWorkerInvariance(t *testing.T) {
+	reg := Constructors()
+	css := conformanceCodes(t)
+	for _, name := range DecoderNames() {
+		mk := NewWindowed(reg[name], 3, 1)
+		for _, c := range css {
+			var ref *Result
+			for _, workers := range []int{1, 8} {
+				res, err := RunCapacity(c, mk, Config{
+					P: 0.05, Shots: 64, Seed: 1717, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("windowed %s on %s: %v", name, c.Name, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if res.Failures != ref.Failures || res.Shots != ref.Shots || res.AvgIters != ref.AvgIters {
+					t.Errorf("windowed %s on %s: workers=%d diverged: failures %d vs %d, shots %d vs %d, avgIters %v vs %v",
+						name, c.Name, workers, res.Failures, ref.Failures, res.Shots, ref.Shots, res.AvgIters, ref.AvgIters)
 				}
 			}
 		}

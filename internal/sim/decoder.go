@@ -13,48 +13,23 @@ import (
 	"bpsf/internal/bp"
 	"bpsf/internal/bposd"
 	"bpsf/internal/bpsf"
+	"bpsf/internal/decoding"
 	"bpsf/internal/gf2"
 	"bpsf/internal/osd"
 	"bpsf/internal/sparse"
 	"bpsf/internal/tanner"
 	"bpsf/internal/uf"
+	"bpsf/internal/window"
 )
 
-// Outcome is the unified per-shot decoder report consumed by the harness.
-type Outcome struct {
-	// Success is true when the decoder produced a syndrome-satisfying
-	// estimate.
-	Success bool
-	// ErrHat is the estimated error pattern.
-	ErrHat gf2.Vec
-	// Iterations is the serial-accounting BP iteration count (initial +
-	// cumulative trials for BP-SF; BP iterations for BP and BP-OSD).
-	Iterations int
-	// ParallelIterations is the iteration-unit latency under full
-	// parallelism (equals Iterations for decoders without parallel
-	// post-processing).
-	ParallelIterations int
-	// PostUsed reports whether post-processing (OSD or syndrome-flip
-	// trials) ran.
-	PostUsed bool
-	// Time is the total wall-clock decode duration, PostTime the
-	// post-processing share.
-	Time, PostTime time.Duration
-	// TrialIterations/TrialSuccess are BP-SF per-trial records (nil for
-	// other decoders).
-	TrialIterations []int
-	TrialSuccess    []bool
-	// InitIterations is the initial-stage iteration count.
-	InitIterations int
-}
+// Outcome is the unified per-shot decoder report consumed by the harness
+// (alias of decoding.Outcome; the definition lives in the leaf package so
+// add-on decoder subsystems can share it without importing sim).
+type Outcome = decoding.Outcome
 
-// Decoder is the harness-facing decoder abstraction.
-type Decoder interface {
-	// Name returns a short label for reports ("BP1000-OSD10", "BP-SF", ...).
-	Name() string
-	// Decode decodes one syndrome.
-	Decode(s gf2.Vec) Outcome
-}
+// Decoder is the harness-facing decoder abstraction (alias of
+// decoding.Decoder).
+type Decoder = decoding.Decoder
 
 // ---- plain BP ----
 
@@ -192,6 +167,32 @@ func (a *ufAdapter) Decode(s gf2.Vec) Outcome {
 	}
 }
 
+// ---- sliding-window wrapper ----
+
+// NewWindowedOver wraps an inner decoder factory with the sliding-window
+// scheduler (internal/window): the decoding problem is sliced along the
+// given round layout into overlapping windows of w rounds, each window
+// committing its first c rounds (the last window commits everything), with
+// committed corrections' boundary syndromes propagated into the next
+// window. The returned factory builds one warm windowed decoder per call;
+// its result is a deterministic pure function of (seed, w, c, inner spec).
+func NewWindowedOver(inner Factory, layout window.Layout, w, c int) Factory {
+	return func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return window.New(h, priors, layout, w, c, decoding.Factory(inner))
+	}
+}
+
+// NewWindowed is NewWindowedOver with the generic row-per-round layout:
+// every row of the check matrix is its own "round". This is the layout-free
+// form used by the constructor registry and the code-capacity CLIs; circuit
+// -level callers should pass the memory-experiment layout
+// (window.MemexpLayout) to NewWindowedOver instead.
+func NewWindowed(inner Factory, w, c int) Factory {
+	return func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return window.New(h, priors, window.RowRounds(h.Rows()), w, c, decoding.Factory(inner))
+	}
+}
+
 // ---- decoder constructor registry ----
 
 // Constructors returns the registered decoder constructors keyed by the
@@ -222,6 +223,11 @@ func Constructors() map[string]Factory {
 		"uf": func(h *sparse.Mat, priors []float64) (Decoder, error) {
 			return NewUF(h), nil
 		},
+		"windowed": NewWindowed(func(h *sparse.Mat, priors []float64) (Decoder, error) {
+			return NewBPOSD(h, priors,
+				bp.Config{MaxIter: 100},
+				osd.Config{Method: osd.OSDCS, Order: 5}), nil
+		}, 3, 1),
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bpsf/internal/decoding"
 )
 
 // defaultMaxShards caps the automatic shard count; 64 shards keep the
@@ -54,30 +56,17 @@ type Sharder func(shardSeed int64) (Shard, error)
 
 // Reseeder is implemented by decoders owning internal randomness (BP-SF
 // trial sampling). The engine reseeds each shard's decoder deterministically
-// so stochastic post-processing is also independent per shard.
-type Reseeder interface {
-	Reseed(seed int64)
-}
+// so stochastic post-processing is also independent per shard. Alias of
+// decoding.Reseeder.
+type Reseeder = decoding.Reseeder
 
 // Reseed reseeds dec if it carries internal randomness; a no-op otherwise.
-func Reseed(dec Decoder, seed int64) {
-	if r, ok := dec.(Reseeder); ok {
-		r.Reseed(seed)
-	}
-}
+func Reseed(dec Decoder, seed int64) { decoding.Reseed(dec, seed) }
 
 // ShardSeed derives the deterministic seed of one shard from the run seed
-// via a splitmix64 step: statistically independent streams for adjacent
-// shard indices, stable across platforms.
-func ShardSeed(seed int64, shard int) int64 {
-	z := uint64(seed) + (uint64(shard)+1)*0x9E3779B97F4A7C15
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z)
-}
+// via a splitmix64 step (decoding.ShardSeed): statistically independent
+// streams for adjacent shard indices, stable across platforms.
+func ShardSeed(seed int64, shard int) int64 { return decoding.ShardSeed(seed, shard) }
 
 // workers resolves Config.Workers (0 = all CPUs).
 func (cfg Config) workers() int {

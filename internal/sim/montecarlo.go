@@ -4,18 +4,18 @@ import (
 	"time"
 
 	"bpsf/internal/code"
+	"bpsf/internal/decoding"
 	"bpsf/internal/dem"
 	"bpsf/internal/gf2"
 	"bpsf/internal/noise"
-	"bpsf/internal/sparse"
 )
 
 // Factory builds a Decoder for a given parity-check matrix and per-bit
-// priors. The harness calls it once per shard and decoding side (code
-// capacity) or once per shard (circuit level), so it may be invoked from
-// concurrent goroutines and must not share mutable state between the
-// decoders it returns.
-type Factory func(h *sparse.Mat, priors []float64) (Decoder, error)
+// priors (alias of decoding.Factory). The harness calls it once per shard
+// and decoding side (code capacity) or once per shard (circuit level), so
+// it may be invoked from concurrent goroutines and must not share mutable
+// state between the decoders it returns.
+type Factory = decoding.Factory
 
 // Config controls one Monte-Carlo run.
 type Config struct {

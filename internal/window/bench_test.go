@@ -1,0 +1,88 @@
+package window
+
+import (
+	"testing"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/decoding"
+	"bpsf/internal/dem"
+	"bpsf/internal/gf2"
+	"bpsf/internal/memexp"
+)
+
+// benchStream builds the distance-5 rotated-surface circuit-level decoding
+// problem (5 rounds, the paper's d rounds) and pre-samples syndromes.
+func benchSetup(b *testing.B) (*dem.DEM, Layout, []float64, []gf2.Vec) {
+	b.Helper()
+	css, err := codes.RotatedSurface5()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rounds, p = 5, 0.003
+	circ, err := memexp.Build(css, rounds, memexp.Uniform())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := dem.Extract(circ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := dem.NewSampler(d, p, 42)
+	syns := make([]gf2.Vec, 64)
+	for i := range syns {
+		syn, _ := sampler.SampleShared()
+		syns[i] = syn.Clone()
+	}
+	return d, MemexpLayout(css, rounds), d.Priors(p), syns
+}
+
+// BenchmarkWindowedDecode measures the steady-state windowed decode
+// (W=3, C=1) on the distance-5 rotated surface memory experiment for the
+// two deterministic inner decoder families — the streaming counterpart of
+// the BenchmarkUFDecode/BenchmarkBPOSDDecode pair in internal/uf.
+func BenchmarkWindowedDecode(b *testing.B) {
+	d, layout, priors, syns := benchSetup(b)
+	for _, tc := range []struct {
+		name  string
+		inner decoding.Factory
+	}{
+		{"UF", ufFactory},
+		{"BPOSD", bposdFactory},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			wd, err := New(d.H, priors, layout, 3, 1, tc.inner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wd.Decode(syns[i%len(syns)])
+			}
+		})
+	}
+}
+
+// BenchmarkWholeHistoryDecode is the non-windowed baseline on the same
+// problem, so the window/commit overhead is directly readable from the
+// bench-smoke output.
+func BenchmarkWholeHistoryDecode(b *testing.B) {
+	d, _, priors, syns := benchSetup(b)
+	for _, tc := range []struct {
+		name  string
+		inner decoding.Factory
+	}{
+		{"UF", ufFactory},
+		{"BPOSD", bposdFactory},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dec, err := tc.inner(d.H, priors)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec.Decode(syns[i%len(syns)])
+			}
+		})
+	}
+}

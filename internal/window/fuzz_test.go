@@ -1,0 +1,66 @@
+package window
+
+import "testing"
+
+// FuzzWindowPartition asserts the partition invariants for arbitrary
+// (rounds, w, c): invalid parameters error (never panic); valid ones yield
+// windows whose commit regions cover every round exactly once, whose spans
+// never exceed w rounds, and whose structure round-trips back to the
+// inputs (non-last windows span exactly w and commit exactly c; the last
+// commit boundary is rounds).
+func FuzzWindowPartition(f *testing.F) {
+	f.Add(1, 1, 1)
+	f.Add(5, 3, 1)
+	f.Add(12, 4, 2)
+	f.Add(3, 8, 2)
+	f.Add(0, 1, 1)
+	f.Add(7, 2, 3)
+	f.Add(65535, 16, 5)
+	f.Fuzz(func(t *testing.T, rounds, w, c int) {
+		if rounds > 1<<20 {
+			return // keep the smoke budget off absurd span counts
+		}
+		spans, err := PartitionRounds(rounds, w, c)
+		valid := rounds >= 1 && c >= 1 && c <= w
+		if !valid {
+			if err == nil {
+				t.Fatalf("PartitionRounds(%d,%d,%d) accepted invalid parameters", rounds, w, c)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("PartitionRounds(%d,%d,%d): %v", rounds, w, c, err)
+		}
+		if len(spans) == 0 {
+			t.Fatalf("PartitionRounds(%d,%d,%d): no windows", rounds, w, c)
+		}
+		// Commit regions tile [0, rounds): first starts at 0, each window's
+		// commit region begins where the previous one ended, last ends at
+		// rounds — every round committed exactly once.
+		if spans[0].Start != 0 {
+			t.Fatalf("first window starts at %d", spans[0].Start)
+		}
+		for k, sp := range spans {
+			if sp.Start > sp.CommitEnd-1 || sp.CommitEnd > sp.End {
+				t.Fatalf("window %d malformed: %+v", k, sp)
+			}
+			if sp.End-sp.Start > w {
+				t.Fatalf("window %d spans %d rounds, cap %d", k, sp.End-sp.Start, w)
+			}
+			if k+1 < len(spans) {
+				if spans[k+1].Start != sp.CommitEnd {
+					t.Fatalf("window %d commits through %d but window %d starts at %d",
+						k, sp.CommitEnd, k+1, spans[k+1].Start)
+				}
+				// round-trip: interior windows are exactly (w, c)
+				if sp.End-sp.Start != w || sp.CommitEnd-sp.Start != c {
+					t.Fatalf("interior window %d is %+v, want span %d commit %d", k, sp, w, c)
+				}
+			}
+		}
+		last := spans[len(spans)-1]
+		if last.CommitEnd != rounds || last.End != rounds {
+			t.Fatalf("last window %+v does not close the %d-round stream", last, rounds)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package window
+
+import (
+	"testing"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/bposd"
+	"bpsf/internal/codes"
+	"bpsf/internal/decoding"
+	"bpsf/internal/dem"
+	"bpsf/internal/gf2"
+	"bpsf/internal/memexp"
+	"bpsf/internal/noise"
+	"bpsf/internal/osd"
+	"bpsf/internal/sparse"
+	"bpsf/internal/uf"
+)
+
+// ufFactory / bposdFactory are deterministic inner decoders for the tests
+// (thin adapters mirroring sim's, rebuilt here because window must not
+// import sim).
+func ufFactory(h *sparse.Mat, priors []float64) (decoding.Decoder, error) {
+	return ufAdapter{d: uf.New(h)}, nil
+}
+
+type ufAdapter struct{ d *uf.Decoder }
+
+func (a ufAdapter) Name() string { return "UF" }
+func (a ufAdapter) Decode(s gf2.Vec) decoding.Outcome {
+	r := a.d.Decode(s)
+	return decoding.Outcome{Success: r.Success, ErrHat: r.ErrHat, Iterations: r.GrowthRounds}
+}
+
+func bposdFactory(h *sparse.Mat, priors []float64) (decoding.Decoder, error) {
+	return bposdAdapter{d: bposd.New(h, priors,
+		bp.Config{MaxIter: 60}, osd.Config{Method: osd.OSDCS, Order: 4})}, nil
+}
+
+type bposdAdapter struct{ d *bposd.Decoder }
+
+func (a bposdAdapter) Name() string { return "BP60-OSDCS4" }
+func (a bposdAdapter) Decode(s gf2.Vec) decoding.Outcome {
+	r := a.d.Decode(s)
+	return decoding.Outcome{Success: r.Success, ErrHat: r.ErrHat,
+		Iterations: r.BPIterations, PostUsed: r.OSDUsed}
+}
+
+func TestPartitionRounds(t *testing.T) {
+	cases := []struct {
+		rounds, w, c int
+		want         []Span
+	}{
+		{1, 1, 1, []Span{{0, 1, 1}}},
+		{5, 3, 1, []Span{{0, 3, 1}, {1, 4, 2}, {2, 5, 5}}},
+		{4, 3, 1, []Span{{0, 3, 1}, {1, 4, 4}}},
+		{6, 4, 2, []Span{{0, 4, 2}, {2, 6, 6}}},
+		{3, 8, 2, []Span{{0, 3, 3}}},
+		{6, 2, 2, []Span{{0, 2, 2}, {2, 4, 4}, {4, 6, 6}}},
+	}
+	for _, tc := range cases {
+		got, err := PartitionRounds(tc.rounds, tc.w, tc.c)
+		if err != nil {
+			t.Fatalf("PartitionRounds(%d,%d,%d): %v", tc.rounds, tc.w, tc.c, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("PartitionRounds(%d,%d,%d) = %v, want %v", tc.rounds, tc.w, tc.c, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("PartitionRounds(%d,%d,%d)[%d] = %v, want %v",
+					tc.rounds, tc.w, tc.c, i, got[i], tc.want[i])
+			}
+		}
+	}
+	for _, bad := range [][3]int{{0, 1, 1}, {4, 0, 0}, {4, 2, 3}, {4, 2, 0}, {-1, 2, 1}} {
+		if _, err := PartitionRounds(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("PartitionRounds(%d,%d,%d) accepted", bad[0], bad[1], bad[2])
+		}
+	}
+}
+
+// TestMemexpLayoutMatchesDEM pins the layout arithmetic to the actual
+// memexp detector ordering: total detector count must equal the extracted
+// DEM's for several codes and round counts.
+func TestMemexpLayoutMatchesDEM(t *testing.T) {
+	for _, tc := range []struct {
+		code   string
+		rounds int
+	}{
+		{"rsurf3", 1}, {"rsurf3", 3}, {"rsurf5", 4}, {"bb72", 2}, {"toric4", 3},
+	} {
+		css, err := codes.Get(tc.code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circ, err := memexp.Build(css, tc.rounds, memexp.Uniform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dem.Extract(circ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := MemexpLayout(css, tc.rounds)
+		if l.NumDets != d.NumDets {
+			t.Errorf("%s rounds=%d: layout covers %d detectors, DEM has %d",
+				tc.code, tc.rounds, l.NumDets, d.NumDets)
+		}
+		if l.NumRounds() != tc.rounds+1 {
+			t.Errorf("%s rounds=%d: layout has %d rounds, want %d",
+				tc.code, tc.rounds, l.NumRounds(), tc.rounds+1)
+		}
+		if err := l.Validate(d.NumDets); err != nil {
+			t.Errorf("%s rounds=%d: %v", tc.code, tc.rounds, err)
+		}
+	}
+}
+
+// TestSingleWindowEqualsInner: with W spanning every round, the windowed
+// decoder is the whole-history decode — identical estimates to the bare
+// inner decoder on every shot.
+func TestSingleWindowEqualsInner(t *testing.T) {
+	css, err := codes.RotatedSurface5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := noise.UniformPriors(css.N, 0.02)
+	rows := css.HZ.Rows()
+	wd, err := New(css.HZ, priors, RowRounds(rows), rows, rows, ufFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(wd.Spans()); n != 1 {
+		t.Fatalf("W=rows built %d windows, want 1", n)
+	}
+	inner, _ := ufFactory(css.HZ, priors)
+	sampler := noise.NewCapacitySampler(css.N, 0.05, 77)
+	ex, ez := gf2.NewVec(css.N), gf2.NewVec(css.N)
+	s := gf2.NewVec(rows)
+	for shot := 0; shot < 60; shot++ {
+		sampler.SampleInto(ex, ez)
+		css.SyndromeOfXInto(s, ex)
+		got := wd.Decode(s)
+		gotHat := got.ErrHat.Clone()
+		want := inner.Decode(s)
+		if got.Success != want.Success {
+			t.Fatalf("shot %d: windowed success=%v, inner=%v", shot, got.Success, want.Success)
+		}
+		if got.Success && !gotHat.Equal(want.ErrHat) {
+			t.Fatalf("shot %d: single-window estimate diverges from inner", shot)
+		}
+	}
+}
+
+// TestStreamMatchesDecode: pushing rounds one by one yields the same
+// verdict, telemetry and estimate as the whole-syndrome Decode entry point.
+func TestStreamMatchesDecode(t *testing.T) {
+	css, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := noise.UniformPriors(css.N, 0.02)
+	wd, err := New(css.HZ, priors, RowRounds(css.HZ.Rows()), 4, 2, bposdFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := noise.NewCapacitySampler(css.N, 0.04, 5)
+	ex, ez := gf2.NewVec(css.N), gf2.NewVec(css.N)
+	s := gf2.NewVec(css.HZ.Rows())
+	st := wd.NewStream()
+	bits := gf2.NewVec(1)
+	for shot := 0; shot < 30; shot++ {
+		sampler.SampleInto(ex, ez)
+		css.SyndromeOfXInto(s, ex)
+		want := wd.Decode(s)
+		wantHat := want.ErrHat.Clone()
+
+		st.Reset()
+		for r := 0; r < wd.Layout().NumRounds(); r++ {
+			bits.Set(0, s.Get(r))
+			if _, err := st.PushRound(bits); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := st.Finish()
+		if got.Success != want.Success || !got.ErrHat.Equal(wantHat) {
+			t.Fatalf("shot %d: stream decode diverges from whole-syndrome decode", shot)
+		}
+		if got.Iterations != want.Iterations {
+			t.Fatalf("shot %d: stream iters %d, decode iters %d", shot, got.Iterations, want.Iterations)
+		}
+	}
+}
+
+// TestCommittedRegionResidualInvariant is the subsystem's core induction,
+// checked live on a stream: after each window's commit, every residual
+// detector before the commit boundary is zero whenever all inner decodes
+// so far succeeded; and on overall Success, H·ErrHat = s exactly.
+func TestCommittedRegionResidualInvariant(t *testing.T) {
+	css, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := noise.UniformPriors(css.N, 0.02)
+	wd, err := New(css.HZ, priors, RowRounds(css.HZ.Rows()), 3, 1, bposdFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := noise.NewCapacitySampler(css.N, 0.04, 99)
+	ex, ez := gf2.NewVec(css.N), gf2.NewVec(css.N)
+	s := gf2.NewVec(css.HZ.Rows())
+	st := wd.NewStream()
+	bits := gf2.NewVec(1)
+	converged := 0
+	for shot := 0; shot < 40; shot++ {
+		sampler.SampleInto(ex, ez)
+		css.SyndromeOfXInto(s, ex)
+		st.Reset()
+		okSoFar := true
+		for r := 0; r < wd.Layout().NumRounds(); r++ {
+			bits.Set(0, s.Get(r))
+			commits, err := st.PushRound(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cm := range commits {
+				okSoFar = okSoFar && cm.Success
+				if !okSoFar {
+					continue
+				}
+				boundary := committedBoundary(wd.Layout(), cm.EndRound)
+				for det := 0; det < boundary; det++ {
+					if st.Residual().Get(det) {
+						t.Fatalf("shot %d window %d: residual detector %d nonzero inside committed region [0,%d)",
+							shot, cm.Window, det, boundary)
+					}
+				}
+			}
+		}
+		out := st.Finish()
+		if out.Success {
+			converged++
+			if got := css.HZ.MulVec(out.ErrHat); !got.Equal(s) {
+				t.Fatalf("shot %d: Success but H·ErrHat != s", shot)
+			}
+		}
+	}
+	if converged == 0 {
+		t.Fatal("no shot converged; the invariant was never exercised")
+	}
+}
+
+// committedBoundary returns the first detector index of round r (or
+// NumDets when r is past the last round): the exclusive detector bound of
+// the committed rounds [0, r).
+func committedBoundary(l Layout, r int) int {
+	if r >= l.NumRounds() {
+		return l.NumDets
+	}
+	lo, _ := l.RoundRange(r)
+	return lo
+}
+
+// TestWindowedCircuitDeterminism: a windowed decoder over a circuit-level
+// DEM with the memory-experiment layout reproduces estimates bit for bit
+// across instances, and successful decodes satisfy the full syndrome.
+func TestWindowedCircuitDeterminism(t *testing.T) {
+	css, err := codes.RotatedSurface3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	circ, err := memexp.Build(css, rounds, memexp.Uniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dem.Extract(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := MemexpLayout(css, rounds)
+	priors := d.Priors(0.003)
+	mk := func() *Decoder {
+		wd, err := New(d.H, priors, layout, 2, 1, ufFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wd
+	}
+	a, b := mk(), mk()
+	a.Reseed(7)
+	b.Reseed(7)
+	sampler := dem.NewSampler(d, 0.003, 13)
+	succ := 0
+	for shot := 0; shot < 50; shot++ {
+		syn, _ := sampler.SampleShared()
+		oa := a.Decode(syn)
+		hatA := oa.ErrHat.Clone()
+		ob := b.Decode(syn)
+		if oa.Success != ob.Success || !hatA.Equal(ob.ErrHat) {
+			t.Fatalf("shot %d: windowed decode not deterministic", shot)
+		}
+		if oa.Success {
+			succ++
+			if got := d.H.MulVec(hatA); !got.Equal(syn) {
+				t.Fatalf("shot %d: Success but H·ErrHat != syndrome", shot)
+			}
+		}
+	}
+	if succ == 0 {
+		t.Fatal("no circuit-level shot converged")
+	}
+}
