@@ -32,6 +32,7 @@ import (
 	"bpsf/internal/code"
 	"bpsf/internal/codes"
 	"bpsf/internal/dem"
+	"bpsf/internal/frame"
 	"bpsf/internal/gf2"
 	"bpsf/internal/memexp"
 	"bpsf/internal/noise"
@@ -245,6 +246,37 @@ func NewDEMSampler(d *DEM, p float64, seed int64) *dem.Sampler {
 	return dem.NewSampler(d, p, seed)
 }
 
+// Bit-packed batch sampling re-exports (internal/frame; packing layout and
+// the 64-shot-block determinism contract in DESIGN.md §8).
+type (
+	// FrameBatch is one 64-shot block in detector-major words.
+	FrameBatch = frame.Batch
+	// FramePacked is the shot-major packed view of a FrameBatch (per-shot
+	// syndromes in Vec.SetBytes layout).
+	FramePacked = frame.Packed
+	// BatchCircuitSampler samples noisy circuit executions 64 shots at a
+	// time by word-parallel Pauli-frame propagation.
+	BatchCircuitSampler = frame.CircuitSampler
+	// BatchDEMSampler samples 64-shot blocks from a detector error model.
+	BatchDEMSampler = frame.DEMSampler
+	// FrameCursor drains per-shot packed rows from a block sampler.
+	FrameCursor = frame.Cursor
+)
+
+// FrameBlockShots is the number of shots per sampled block (64).
+const FrameBlockShots = frame.BlockShots
+
+// NewBatchDEMSampler returns the word-parallel batch counterpart of
+// NewDEMSampler — the engine behind MCConfig.Batch and the decode
+// service's server-side sampling.
+func NewBatchDEMSampler(d *DEM, p float64, seed int64) *BatchDEMSampler {
+	return frame.NewDEMSampler(d, p, seed)
+}
+
+// PackFrameBatch transposes a sampled block into per-shot packed syndrome
+// and observable rows (frame.Pack).
+func PackFrameBatch(b *FrameBatch, p *FramePacked) { frame.Pack(b, p) }
+
 // Experiment harness re-exports.
 type (
 	// MCConfig controls a Monte-Carlo run.
@@ -263,6 +295,22 @@ func RunCapacity(c *Code, mk Factory, cfg MCConfig) (*MCResult, error) {
 // RunCircuit evaluates a decoder on a detector error model.
 func RunCircuit(d *DEM, rounds int, mk Factory, cfg MCConfig) (*MCResult, error) {
 	return sim.RunCircuit(d, rounds, mk, cfg)
+}
+
+// RunMemoryCircuitFrames builds the rounds-round memory experiment for a
+// code and evaluates a decoder with word-parallel circuit-level frame
+// sampling (sim.RunCircuitFrames): the repo's fastest sampling path, and
+// the engine behind bpsf-sim's default circuit model.
+func RunMemoryCircuitFrames(c *Code, rounds int, mk Factory, cfg MCConfig) (*MCResult, error) {
+	circ, err := memexp.Build(c, rounds, memexp.Uniform())
+	if err != nil {
+		return nil, err
+	}
+	d, err := dem.Extract(circ)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunCircuitFrames(circ, d, rounds, mk, cfg)
 }
 
 // ScheduleLatency models BP-SF post-processing latency (iteration units)

@@ -5,10 +5,18 @@
 // arrival rate regardless of completions, which is what exposes queueing
 // delay and shedding under overload.
 //
+// Batch traffic samples server-side by default (-batch on): requests carry
+// only a shot count and the server draws syndromes from its word-parallel
+// batch frame sampler, so the wire and the client pay nothing for syndrome
+// generation and responses report logical failures against the sampled
+// ground truth. -batch off retains the client-side scalar sampler and
+// uploads packed syndromes (the differential baseline).
+//
 // Usage:
 //
 //	bpsf-load -addr 127.0.0.1:7421 -code bb144 -p 0.003 -shots 10000 -sessions 8
 //	bpsf-load -addr 127.0.0.1:7421 -mode open -rate 2000 -deadline 5ms -shots 20000
+//	bpsf-load -addr 127.0.0.1:7421 -code bb72 -batch off -batch-size 32
 package main
 
 import (
@@ -46,7 +54,9 @@ func main() {
 	ns := flag.Int("ns", 10, "BP-SF sampled trials per weight (0 = exhaustive)")
 	sessions := flag.Int("sessions", 4, "concurrent sessions")
 	shots := flag.Int("shots", 1000, "total syndromes across all sessions")
-	batch := flag.Int("batch", 16, "syndromes per request batch")
+	batchSize := flag.Int("batch-size", 16, "syndromes per request batch")
+	batch := flag.String("batch", "on",
+		"server-side bit-packed 64-shot batch sampling: on | off (off = retained client-side scalar sampling + syndrome upload; ignored in -window streaming mode)")
 	mode := flag.String("mode", "closed", "load model: closed | open")
 	rate := flag.Float64("rate", 500, "total batch arrivals per second (open mode)")
 	seed := flag.Int64("seed", 1, "sampler and stream seed base")
@@ -59,6 +69,10 @@ func main() {
 		"streaming mode: replay the first recorded round stream and require byte-identical commits (library + service)")
 	flag.Parse()
 
+	useBatch, err := sim.ParseBatchFlag(*batch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	entry, ok := codes.Catalog()[*codeName]
 	if !ok {
 		log.Fatalf("unknown code %q (known: %v)", *codeName, codes.Names())
@@ -73,21 +87,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// local DEM build: the generator owns its syndrome source so the server
-	// is measured on decoding alone
-	css, err := entry.Build()
-	if err != nil {
-		log.Fatal(err)
+	// Local model build only when this side samples: scalar batch mode and
+	// streaming both generate syndromes client-side (the generator owns its
+	// syndrome source so the server is measured on decoding alone). The
+	// default server-sampled batch mode skips the DEM extraction entirely —
+	// the server already owns that build.
+	var css *code.CSS
+	var d *dem.DEM
+	if !useBatch || *windowRounds > 0 {
+		var err error
+		css, err = entry.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		circ, err := memexp.Build(css, r, memexp.Uniform())
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err = dem.Extract(circ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s, %d rounds, %d mechanisms, p=%g, decoder %s\n", css.Name, r, d.NumMechs(), *p, spec)
+	} else {
+		fmt.Printf("%s, %d rounds, p=%g, decoder %s (server-side sampling)\n", entry.Name, r, *p, spec)
 	}
-	circ, err := memexp.Build(css, r, memexp.Uniform())
-	if err != nil {
-		log.Fatal(err)
-	}
-	d, err := dem.Extract(circ)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s, %d rounds, %d mechanisms, p=%g, decoder %s\n", css.Name, r, d.NumMechs(), *p, spec)
 
 	if *windowRounds > 0 {
 		runStreamLoad(streamLoadConfig{
@@ -99,7 +123,12 @@ func main() {
 		})
 		return
 	}
-	fmt.Printf("%s-loop: %d sessions, %d shots, batch %d\n", *mode, *sessions, *shots, *batch)
+	sampling := "server-side batch sampling"
+	if !useBatch {
+		sampling = "client-side scalar sampling"
+	}
+	fmt.Printf("%s-loop: %d sessions, %d shots, batch %d, %s\n",
+		*mode, *sessions, *shots, *batchSize, sampling)
 
 	perSession := (*shots + *sessions - 1) / *sessions
 	var interval time.Duration
@@ -109,14 +138,14 @@ func main() {
 		}
 		// per-session batch arrival interval; sessions are staggered by Dial
 		// time so total arrivals approximate -rate
-		interval = time.Duration(float64(*sessions) * float64(*batch) / *rate * float64(time.Second))
+		interval = time.Duration(float64(*sessions) * float64(*batchSize) / *rate * float64(time.Second))
 	} else if *mode != "closed" {
 		log.Fatalf("unknown mode %q (want closed|open)", *mode)
 	}
 
 	var mu sync.Mutex
 	var serverLat, clientLat []time.Duration
-	var decoded, shed, failures int
+	var decoded, shed, failures, logical int
 	record := func(rtt time.Duration, resps []service.Response) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -130,6 +159,9 @@ func main() {
 			serverLat = append(serverLat, resp.Latency)
 			if !resp.Success {
 				failures++
+			}
+			if resp.Failed {
+				logical++
 			}
 		}
 	}
@@ -153,21 +185,30 @@ func main() {
 				return
 			}
 			defer c.Close()
-			sampler := dem.NewSampler(d, *p, *seed+int64(s))
-			buf := make([]gf2.Vec, *batch)
-			for i := range buf {
-				buf[i] = gf2.NewVec(d.NumDets)
+			// -batch on: the server samples via its word-parallel frame
+			// sampler (SubmitSample) — no syndrome bytes go upstream.
+			// -batch off: the retained client-side scalar path.
+			var sampler *dem.Sampler
+			var buf []gf2.Vec
+			if !useBatch {
+				sampler = dem.NewSampler(d, *p, *seed+int64(s))
+				buf = make([]gf2.Vec, *batchSize)
+				for i := range buf {
+					buf[i] = gf2.NewVec(d.NumDets)
+				}
 			}
 			var pending sync.WaitGroup
 			next := time.Now()
 			for sent := 0; sent < perSession; {
-				n := *batch
+				n := *batchSize
 				if perSession-sent < n {
 					n = perSession - sent
 				}
-				for i := 0; i < n; i++ {
-					syn, _ := sampler.SampleShared()
-					buf[i].CopyFrom(syn)
+				if !useBatch {
+					for i := 0; i < n; i++ {
+						syn, _ := sampler.SampleShared()
+						buf[i].CopyFrom(syn)
+					}
 				}
 				if interval > 0 {
 					// open loop: hold the schedule even when responses lag
@@ -177,7 +218,13 @@ func main() {
 					next = next.Add(interval)
 				}
 				sendT := time.Now()
-				pend, err := c.Submit(buf[:n])
+				var pend *service.Pending
+				var err error
+				if useBatch {
+					pend, err = c.SubmitSample(n)
+				} else {
+					pend, err = c.Submit(buf[:n])
+				}
 				if err != nil {
 					errs <- fmt.Errorf("session %d: %w", s, err)
 					return
@@ -213,6 +260,10 @@ func main() {
 	tput := float64(decoded) / wall.Seconds()
 	fmt.Printf("\n%d decoded, %d shed, %d decode failures in %v  →  %.0f syndromes/s\n",
 		decoded, shed, failures, wall.Round(time.Millisecond), tput)
+	if useBatch && decoded > 0 {
+		fmt.Printf("%d logical failures among the server-sampled shots (LER %.2e)\n",
+			logical, float64(logical)/float64(decoded))
+	}
 
 	ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
 	srv := sim.Summarize(serverLat)

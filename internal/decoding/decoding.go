@@ -61,6 +61,19 @@ type Decoder interface {
 // decoders it returns.
 type Factory func(h *sparse.Mat, priors []float64) (Decoder, error)
 
+// LogicalFailed is the one logical-verdict rule shared by the Monte-Carlo
+// engine's circuit paths and the decode service's server-sampled requests:
+// a shot fails when the decode did not satisfy the syndrome, or when the
+// estimate's predicted observable flips (obs·ErrHat, computed into
+// scratch) differ from the sampled truth.
+func LogicalFailed(obs *sparse.Mat, out Outcome, want, scratch gf2.Vec) bool {
+	if !out.Success {
+		return true
+	}
+	obs.MulVecInto(scratch, out.ErrHat)
+	return !scratch.Equal(want)
+}
+
 // Reseeder is implemented by decoders owning internal randomness (BP-SF
 // trial sampling, windowed wrappers around it). The engine reseeds each
 // shard's decoder deterministically so stochastic post-processing is also

@@ -1,0 +1,211 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+
+	"bpsf/internal/circuit"
+)
+
+// CircuitSampler samples noisy executions of a stabilizer circuit 64 shots
+// at a time by word-parallel Pauli-frame propagation: each qubit carries an
+// X-component and a Z-component word whose bit lanes are independent shots.
+// Gates conjugate all 64 frames with one or two word operations; noise
+// channels fire per lane by geometric skipping, so their cost is
+// proportional to the faults that actually occur, not to 64× the channel
+// count. Measurements record the X-frame word (outcome deviation from the
+// noiseless reference run); detectors and observables fold measurement
+// words along the circuit's declared layout.
+//
+// Not safe for concurrent use; create one per goroutine with distinct
+// seeds. The sampled stream is a deterministic function of (circuit, p,
+// seed).
+type CircuitSampler struct {
+	c   *circuit.Circuit
+	rng *rand.Rand
+
+	x, z []uint64 // per-qubit frame words
+	meas []uint64 // per-measurement-record deviation words
+
+	// q[i] is the total fire probability of noise op i (0 for non-noise
+	// ops); logq[i] = log(1-q[i]) drives the geometric skipping.
+	q, logq []float64
+}
+
+// NewCircuitSampler builds a sampler for c at physical error rate p with
+// the given seed. Detectors and observables must already be declared on
+// the circuit.
+func NewCircuitSampler(c *circuit.Circuit, p float64, seed int64) *CircuitSampler {
+	s := &CircuitSampler{
+		c:    c,
+		rng:  rand.New(rand.NewSource(seed)),
+		x:    make([]uint64, c.NumQubits),
+		z:    make([]uint64, c.NumQubits),
+		meas: make([]uint64, c.NumMeas),
+		q:    make([]float64, len(c.Ops)),
+		logq: make([]float64, len(c.Ops)),
+	}
+	for i, op := range c.Ops {
+		if !op.Type.IsNoise() {
+			continue
+		}
+		q := op.Scale * p
+		if q < 0 {
+			q = 0
+		}
+		s.q[i] = q
+		if q > 0 && q < 1 {
+			s.logq[i] = math.Log1p(-q)
+		}
+	}
+	return s
+}
+
+// NumDets returns the circuit's detector count (the Batch.Dets length).
+func (s *CircuitSampler) NumDets() int { return len(s.c.Detectors) }
+
+// NumObs returns the circuit's observable count.
+func (s *CircuitSampler) NumObs() int { return len(s.c.Observables) }
+
+// SampleBlock draws the next 64 shots into b (resized and overwritten).
+func (s *CircuitSampler) SampleBlock(b *Batch) {
+	for i := range s.x {
+		s.x[i] = 0
+		s.z[i] = 0
+	}
+	for i, op := range s.c.Ops {
+		switch op.Type {
+		case circuit.OpR:
+			s.x[op.Q0] = 0
+			s.z[op.Q0] = 0
+		case circuit.OpH:
+			s.x[op.Q0], s.z[op.Q0] = s.z[op.Q0], s.x[op.Q0]
+		case circuit.OpCX:
+			s.x[op.Q1] ^= s.x[op.Q0]
+			s.z[op.Q0] ^= s.z[op.Q1]
+		case circuit.OpM:
+			s.meas[op.Meas] = s.x[op.Q0]
+			s.z[op.Q0] = 0 // collapse destroys the Z component
+		case circuit.OpMR:
+			s.meas[op.Meas] = s.x[op.Q0]
+			s.x[op.Q0] = 0
+			s.z[op.Q0] = 0
+		case circuit.OpNoiseX:
+			s.x[op.Q0] ^= s.fireMask(i)
+		case circuit.OpNoiseZ:
+			s.z[op.Q0] ^= s.fireMask(i)
+		case circuit.OpNoiseDep1:
+			s.dep1(i, op.Q0)
+		case circuit.OpNoiseDep2:
+			s.dep2(i, op.Q0, op.Q1)
+		}
+	}
+	b.Reset(len(s.c.Detectors), len(s.c.Observables))
+	for d, ms := range s.c.Detectors {
+		var w uint64
+		for _, m := range ms {
+			w ^= s.meas[m]
+		}
+		b.Dets[d] = w
+	}
+	for o, ms := range s.c.Observables {
+		var w uint64
+		for _, m := range ms {
+			w ^= s.meas[m]
+		}
+		b.Obs[o] = w
+	}
+}
+
+// nextLane advances the geometric skip for op i from lane (after the
+// previous fire): it returns the next firing lane, or 64 when the channel
+// is done with this block.
+func (s *CircuitSampler) nextLane(i, lane int) int {
+	f := math.Log(1-s.rng.Float64()) / s.logq[i]
+	if f >= float64(BlockShots-lane) {
+		return BlockShots
+	}
+	return lane + int(f)
+}
+
+// fireMask returns the 64-lane fire mask of noise op i: each lane set
+// independently with probability q[i].
+func (s *CircuitSampler) fireMask(i int) uint64 {
+	q := s.q[i]
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return ^uint64(0)
+	}
+	var mask uint64
+	for lane := s.nextLane(i, 0); lane < BlockShots; lane = s.nextLane(i, lane+1) {
+		mask |= 1 << uint(lane)
+	}
+	return mask
+}
+
+// dep1 applies a single-qubit depolarizing channel: each firing lane draws
+// X, Y or Z uniformly.
+func (s *CircuitSampler) dep1(i, q0 int) {
+	q := s.q[i]
+	if q <= 0 {
+		return
+	}
+	lane := 0
+	if q < 1 {
+		lane = s.nextLane(i, 0)
+	}
+	for ; lane < BlockShots; lane = s.next1(i, lane) {
+		bit := uint64(1) << uint(lane)
+		switch s.rng.Intn(3) {
+		case 0:
+			s.x[q0] ^= bit
+		case 1: // Y
+			s.x[q0] ^= bit
+			s.z[q0] ^= bit
+		default:
+			s.z[q0] ^= bit
+		}
+	}
+}
+
+// dep2 applies a two-qubit depolarizing channel: each firing lane draws
+// one of the 15 non-identity Pauli pairs uniformly (symplectic encoding:
+// bit 0 = X, bit 1 = Z, matching package pauli and the DEM enumeration).
+func (s *CircuitSampler) dep2(i, q0, q1 int) {
+	q := s.q[i]
+	if q <= 0 {
+		return
+	}
+	lane := 0
+	if q < 1 {
+		lane = s.nextLane(i, 0)
+	}
+	for ; lane < BlockShots; lane = s.next1(i, lane) {
+		bit := uint64(1) << uint(lane)
+		v := s.rng.Intn(15) + 1
+		pa, pb := v>>2, v&3
+		if pa&1 != 0 {
+			s.x[q0] ^= bit
+		}
+		if pa&2 != 0 {
+			s.z[q0] ^= bit
+		}
+		if pb&1 != 0 {
+			s.x[q1] ^= bit
+		}
+		if pb&2 != 0 {
+			s.z[q1] ^= bit
+		}
+	}
+}
+
+// next1 advances one lane for channels that may have q == 1 (every lane
+// fires) as well as q < 1 (geometric skip).
+func (s *CircuitSampler) next1(i, lane int) int {
+	if s.q[i] >= 1 {
+		return lane + 1
+	}
+	return s.nextLane(i, lane+1)
+}

@@ -1,0 +1,104 @@
+package frame
+
+import (
+	"testing"
+)
+
+// FuzzFramePackTranspose fuzzes the pack → transpose → unpack pipeline:
+// for arbitrary shot counts ≤ 64 and detector/observable row widths
+// (including ragged tails that don't divide the 64-bit word), packing a
+// batch and unpacking it again must restore every word masked to the shot
+// count, and each packed shot row must agree with per-bit extraction.
+func FuzzFramePackTranspose(f *testing.F) {
+	f.Add(uint16(1), uint16(0), uint8(1), []byte{0x01})
+	f.Add(uint16(64), uint16(64), uint8(64), []byte{0xff, 0x00, 0xab})
+	f.Add(uint16(65), uint16(3), uint8(63), []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(uint16(130), uint16(66), uint8(17), []byte{0x55})
+	f.Add(uint16(7), uint16(1), uint8(33), []byte{})
+	f.Fuzz(func(t *testing.T, detSeed, obsSeed uint16, shotSeed uint8, data []byte) {
+		numDets := int(detSeed)%257 + 1
+		numObs := int(obsSeed) % 130
+		shots := int(shotSeed)%BlockShots + 1
+
+		word := func(i int) uint64 {
+			var w uint64
+			for b := 0; b < 8; b++ {
+				if len(data) > 0 {
+					w |= uint64(data[(i*8+b)%len(data)]) << uint(8*b)
+				}
+			}
+			return w + uint64(i)*0x9E3779B97F4A7C15
+		}
+		b := &Batch{Shots: shots, Dets: make([]uint64, numDets), Obs: make([]uint64, numObs)}
+		for i := range b.Dets {
+			b.Dets[i] = word(i)
+		}
+		for i := range b.Obs {
+			b.Obs[i] = word(numDets + i)
+		}
+
+		var p Packed
+		Pack(b, &p)
+		if p.Shots() != shots || p.NumDets() != numDets || p.NumObs() != numObs {
+			t.Fatalf("packed geometry %d/%d/%d, want %d/%d/%d",
+				p.Shots(), p.NumDets(), p.NumObs(), shots, numDets, numObs)
+		}
+
+		// per-bit agreement of every packed shot row with the source words
+		for s := 0; s < shots; s++ {
+			row := p.Syndrome(s)
+			if len(row) != (numDets+7)/8 {
+				t.Fatalf("shot %d: syndrome row %d bytes, want %d", s, len(row), (numDets+7)/8)
+			}
+			for d := 0; d < numDets; d++ {
+				got := row[d/8]>>uint(d%8)&1 == 1
+				want := b.Dets[d]>>uint(s)&1 == 1
+				if got != want {
+					t.Fatalf("bit (det=%d, shot=%d): packed %v, source %v", d, s, got, want)
+				}
+			}
+			orow := p.ObsFlips(s)
+			for o := 0; o < numObs; o++ {
+				got := orow[o/8]>>uint(o%8)&1 == 1
+				want := b.Obs[o]>>uint(s)&1 == 1
+				if got != want {
+					t.Fatalf("bit (obs=%d, shot=%d): packed %v, source %v", o, s, got, want)
+				}
+			}
+		}
+
+		// round-trip: unpack restores words masked to the valid lanes
+		var back Batch
+		Unpack(&p, &back)
+		mask := ^uint64(0)
+		if shots < 64 {
+			mask = 1<<uint(shots) - 1
+		}
+		if len(back.Dets) != numDets || len(back.Obs) != numObs {
+			t.Fatalf("unpacked geometry %d/%d, want %d/%d", len(back.Dets), len(back.Obs), numDets, numObs)
+		}
+		for d := range b.Dets {
+			if back.Dets[d] != b.Dets[d]&mask {
+				t.Fatalf("det word %d: unpack %#x, want %#x", d, back.Dets[d], b.Dets[d]&mask)
+			}
+		}
+		for o := range b.Obs {
+			if back.Obs[o] != b.Obs[o]&mask {
+				t.Fatalf("obs word %d: unpack %#x, want %#x", o, back.Obs[o], b.Obs[o]&mask)
+			}
+		}
+
+		// packing the unpacked batch reproduces the packed bytes (the
+		// transpose is an involution)
+		var p2 Packed
+		Pack(&back, &p2)
+		for s := 0; s < shots; s++ {
+			a, bb := p.Syndrome(s), p2.Syndrome(s)
+			for i := range a {
+				if a[i] != bb[i] {
+					t.Fatalf("shot %d: repack differs at syndrome byte %d", s, i)
+				}
+			}
+		}
+	})
+}

@@ -151,6 +151,20 @@ func (c *Client) Submit(syndromes []gf2.Vec) (*Pending, error) {
 			return nil, fmt.Errorf("service: syndrome %d has %d bits, session expects %d", i, v.Len(), c.numDets)
 		}
 	}
+	return c.send(func(id uint64) []byte {
+		buf := appendBatchHeader(nil, id, len(syndromes))
+		for _, v := range syndromes {
+			buf = v.AppendBytes(buf)
+		}
+		return buf
+	})
+}
+
+// send registers a Pending under the next batch id, builds the request
+// frame and writes it out — the one request path shared by Submit and
+// SubmitSample. The payload is built under the pending registration so
+// replies can never race their waiter.
+func (c *Client) send(build func(id uint64) []byte) (*Pending, error) {
 	p := &Pending{done: make(chan struct{})}
 
 	c.mu.Lock()
@@ -164,11 +178,7 @@ func (c *Client) Submit(syndromes []gf2.Vec) (*Pending, error) {
 	c.pending[id] = p
 	c.mu.Unlock()
 
-	buf := appendBatchHeader(nil, id, len(syndromes))
-	for _, v := range syndromes {
-		buf = v.AppendBytes(buf)
-	}
-
+	buf := build(id)
 	c.sendMu.Lock()
 	err := writeFrame(c.bw, buf)
 	if err == nil {
@@ -180,6 +190,21 @@ func (c *Client) Submit(syndromes []gf2.Vec) (*Pending, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// SubmitSample asks the server to draw count syndromes server-side — via
+// the session's deterministic word-parallel batch frame sampler at the
+// session's (code, rounds, p) — decode them, and reply like an ordinary
+// batch. Responses carry Failed (logical verdict against the sampled
+// ground truth) in addition to the usual fields. The sampled shot stream
+// is a pure function of Hello.StreamSeed; decode seeds come from the
+// session-wide request index shared with Submit, so a session issuing
+// the same request sequence replays byte-identically (DESIGN.md §8).
+func (c *Client) SubmitSample(count int) (*Pending, error) {
+	if count < 1 || count > c.maxBatch {
+		return nil, fmt.Errorf("service: sample request of %d shots (want 1..%d)", count, c.maxBatch)
+	}
+	return c.send(func(id uint64) []byte { return appendSample(nil, id, count) })
 }
 
 // Decode is the synchronous round trip: Submit + Wait.

@@ -26,6 +26,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(appendStreamRoundsHeader(nil, 9, 0, 1), uint8(4))
 	f.Add(appendStreamCommit(nil, streamCommitMsg{id: 9, window: 0, flags: flagStreamWindowOK,
 		firstRound: 0, endRound: 1, latency: time.Millisecond, mechs: []byte{0xAB}}), uint8(1))
+	f.Add(appendSample(nil, 12, 64), uint8(5))
 	f.Add([]byte{}, uint8(0))
 	f.Add([]byte{msgBatch, 0xff}, uint8(255))
 	f.Fuzz(func(t *testing.T, payload []byte, widthSeed uint8) {
@@ -36,6 +37,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		parseHelloAck(payload)
 		parseBatch(payload, width)
 		parseBatchReply(payload, width)
+		parseSample(payload)
 		parseErrorBody(payload)
 		parseStreamOpen(payload)
 		parseStreamAck(payload)
@@ -82,6 +84,17 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			h.P, h2.P = 0, 0
 			if h2 != h || pBits != p2Bits {
 				t.Fatalf("hello round-trip: %+v (P=%#x) != %+v (P=%#x)", h2, p2Bits, h, pBits)
+			}
+		}
+
+		// 4b. Sample-frame round-trip when the payload parses.
+		if id, count, err := parseSample(payload); err == nil {
+			id2, count2, err := parseSample(appendSample(nil, id, count))
+			if err != nil {
+				t.Fatalf("re-parse encoded sample: %v", err)
+			}
+			if id2 != id || count2 != count {
+				t.Fatalf("sample round-trip: (%d,%d) != (%d,%d)", id2, count2, id, count)
 			}
 		}
 

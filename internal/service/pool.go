@@ -12,12 +12,15 @@ import (
 
 // request is one admitted syndrome decode. The syndrome vector is owned by
 // the request; resp points into the session's reply buffer and wg is the
-// batch's completion barrier.
+// batch's completion barrier. Server-sampled requests additionally carry
+// the sampled ground truth (wantObs, packed observable flips), which the
+// worker compares against the decoder's prediction to report Failed.
 type request struct {
 	syndrome gf2.Vec
 	seed     int64
 	enqueued time.Time
 	deadline time.Duration
+	wantObs  []byte // nil for client-supplied syndromes
 	resp     *Response
 	wg       *sync.WaitGroup
 }
@@ -116,12 +119,20 @@ func (p *pool) submit(r *request) {
 func (p *pool) worker(dec sim.Decoder) {
 	defer p.workers.Done()
 	batch := make([]*request, 0, p.opts.maxBatch)
+	// per-worker scratch for the sampled-request observable comparison
+	// (nil-DEM stub pools never see sampled requests)
+	numObs := 0
+	if p.dem != nil {
+		numObs = p.dem.NumObs
+	}
+	obsHat := gf2.NewVec(numObs)
+	obsWant := gf2.NewVec(numObs)
 	for first := range p.queue {
 		batch = p.coalesce(batch[:0], first)
 		p.batches.Add(1)
 		p.coalesced.Add(uint64(len(batch)))
 		for _, r := range batch {
-			p.serve(dec, r)
+			p.serve(dec, r, obsHat, obsWant)
 		}
 	}
 }
@@ -150,7 +161,7 @@ func (p *pool) coalesce(batch []*request, first *request) []*request {
 	return batch
 }
 
-func (p *pool) serve(dec sim.Decoder, r *request) {
+func (p *pool) serve(dec sim.Decoder, r *request, obsHat, obsWant gf2.Vec) {
 	wait := time.Since(r.enqueued)
 	if r.deadline > 0 && wait > r.deadline {
 		r.resp.Shed = true
@@ -165,6 +176,13 @@ func (p *pool) serve(dec sim.Decoder, r *request) {
 	r.resp.Iterations = out.Iterations
 	r.resp.FlipCount = out.ErrHat.Weight()
 	r.resp.ErrHat = out.ErrHat.AppendBytes(r.resp.ErrHat[:0])
+	if r.wantObs != nil && p.dem != nil {
+		// server-sampled shot: report the logical verdict against the
+		// sampled ground truth (the one rule shared with sim's circuit
+		// paths, decoding.LogicalFailed)
+		_ = obsWant.SetBytes(r.wantObs) // length fixed by the session DEM
+		r.resp.Failed = sim.LogicalFailed(p.dem.Obs, out, obsWant, obsHat)
+	}
 	r.resp.Latency = wait + time.Since(t0)
 	p.lat.observe(r.resp.Latency)
 	p.decoded.Add(1)

@@ -37,10 +37,18 @@ const (
 	msgStreamAck    = 7
 	msgStreamRounds = 8
 	msgStreamCommit = 9
+	// msgSample asks the server to draw the syndromes server-side via the
+	// session's word-parallel batch frame sampler (internal/frame) and
+	// decode them: a Batch whose payload is a shot count instead of packed
+	// syndromes. The reply is an ordinary BatchReply whose responses
+	// additionally carry the Failed flag (the server knows the sampled
+	// observable flips, so it can report logical failures).
+	msgSample = 10
 
 	// Response flags.
 	flagSuccess = 1 << 0
 	flagShed    = 1 << 1
+	flagFailed  = 1 << 2 // server-sampled requests only: logical failure
 
 	// StreamCommit flags.
 	flagStreamWindowOK = 1 << 0 // the window's inner decode succeeded
@@ -96,6 +104,11 @@ type Response struct {
 	FlipCount int
 	// Latency is the server-side service time (queue wait + decode).
 	Latency time.Duration
+	// Failed reports a logical failure on server-sampled requests
+	// (SubmitSample): the decode failed or predicted the wrong observable
+	// flips for the sampled shot. Always false for client-supplied
+	// syndromes — the server does not know their ground truth.
+	Failed bool
 	// ErrHat is the packed error estimate (gf2.Vec.AppendBytes layout,
 	// numMechs bits); zero bytes when Shed.
 	ErrHat []byte
@@ -355,6 +368,35 @@ func parseBatch(payload []byte, detBytes int) (batchID uint64, syndromes [][]byt
 	return batchID, syndromes, r.err
 }
 
+// appendSample encodes a server-side sample request: the server draws
+// count shots from the session's deterministic batch sampler and decodes
+// them.
+func appendSample(b []byte, batchID uint64, count int) []byte {
+	b = append(b, msgSample)
+	b = appendU64(b, batchID)
+	b = appendU16(b, uint16(count))
+	return b
+}
+
+func parseSample(payload []byte) (batchID uint64, count int, err error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgSample {
+		return 0, 0, fmt.Errorf("service: expected Sample, got message type %d", t)
+	}
+	batchID = r.u64()
+	count = int(r.u16())
+	if r.err != nil {
+		return 0, 0, r.err
+	}
+	if count < 1 {
+		return 0, 0, fmt.Errorf("service: sample request for %d shots", count)
+	}
+	if r.rest() != 0 {
+		return 0, 0, fmt.Errorf("service: sample frame carries %d trailing bytes", r.rest())
+	}
+	return batchID, count, nil
+}
+
 // ---- streams ----
 
 // appendStreamOpen starts a windowed stream: window/commit round counts
@@ -515,6 +557,9 @@ func appendResponse(b []byte, resp *Response, mechBytes int) []byte {
 	if resp.Shed {
 		flags |= flagShed
 	}
+	if resp.Failed {
+		flags |= flagFailed
+	}
 	b = append(b, flags)
 	b = appendU32(b, uint32(resp.Iterations))
 	b = appendU32(b, uint32(resp.FlipCount))
@@ -549,6 +594,7 @@ func parseBatchReply(payload []byte, mechBytes int) (batchID uint64, resps []Res
 		flags := r.u8()
 		resps[i].Success = flags&flagSuccess != 0
 		resps[i].Shed = flags&flagShed != 0
+		resps[i].Failed = flags&flagFailed != 0
 		resps[i].Iterations = int(r.u32())
 		resps[i].FlipCount = int(r.u32())
 		resps[i].Latency = time.Duration(r.i64())

@@ -11,6 +11,7 @@ import (
 
 	"bpsf/internal/codes"
 	"bpsf/internal/dem"
+	"bpsf/internal/frame"
 	"bpsf/internal/gf2"
 	"bpsf/internal/memexp"
 	"bpsf/internal/sim"
@@ -407,6 +408,12 @@ func (s *Server) session(conn net.Conn) {
 	streams := newSessionStreams(s, h, p.dem.NumMechs())
 	defer streams.closeAll()
 	maxBatch := batchLimit(s.opts.MaxFrame, p.dem.NumDets, p.dem.NumMechs())
+	// Server-side sampling state (msgSample): one word-parallel batch
+	// sampler per session, built on first use and seeded from the session's
+	// StreamSeed, so sampled shot j of the session is a pure function of
+	// (Hello, j) — lane j mod 64 of block j/64 — regardless of how requests
+	// split the stream. Decoder seeds still advance through reqIndex.
+	var sampleCur *frame.Cursor
 read:
 	for {
 		payload, err := readFrame(br, s.opts.MaxFrame)
@@ -440,6 +447,40 @@ read:
 					seed:     RequestSeed(h.StreamSeed, reqIndex),
 					enqueued: now,
 					deadline: h.Deadline,
+					resp:     &job.resps[i],
+					wg:       &job.wg,
+				})
+				reqIndex++
+			}
+		case msgSample:
+			batchID, count, perr := parseSample(payload)
+			if perr == nil && count > maxBatch {
+				perr = fmt.Errorf("service: sample request of %d shots exceeds session limit %d (reply would overflow the frame guard)",
+					count, maxBatch)
+			}
+			if perr != nil {
+				fail(perr)
+				break read
+			}
+			if sampleCur == nil {
+				sampler := frame.NewDEMSampler(p.dem, h.P, SampleSeed(h.StreamSeed))
+				sampleCur = frame.NewCursor(sampler.SampleBlock)
+			}
+			job := &batchJob{id: batchID, resps: make([]Response, count)}
+			job.wg.Add(count)
+			jobs <- job // reserve the reply slot before admission
+			now := time.Now()
+			for i := 0; i < count; i++ {
+				sb, ob := sampleCur.Next()
+				vec := gf2.NewVec(p.dem.NumDets)
+				_ = vec.SetBytes(sb) // geometry fixed by the DEM
+				want := append([]byte(nil), ob...)
+				p.submit(&request{
+					syndrome: vec,
+					seed:     RequestSeed(h.StreamSeed, reqIndex),
+					enqueued: now,
+					deadline: h.Deadline,
+					wantObs:  want,
 					resp:     &job.resps[i],
 					wg:       &job.wg,
 				})

@@ -153,3 +153,13 @@ func (s Spec) NewDecoder(h *sparse.Mat, priors []float64) (sim.Decoder, error) {
 func RequestSeed(streamSeed int64, index int) int64 {
 	return sim.ShardSeed(streamSeed, index)
 }
+
+// SampleSeed is the deterministic seed of a session's server-side batch
+// frame sampler (msgSample requests): a splitmix stream index outside the
+// RequestSeed range, so sampling randomness and decoder randomness never
+// collide. Replaying a session's sample requests with the same StreamSeed
+// reproduces every sampled syndrome — and through RequestSeed every
+// response — byte-identically.
+func SampleSeed(streamSeed int64) int64 {
+	return sim.ShardSeed(streamSeed, -1)
+}

@@ -31,6 +31,13 @@ type Outcome = decoding.Outcome
 // decoding.Decoder).
 type Decoder = decoding.Decoder
 
+// LogicalFailed is the shared logical-verdict rule for circuit-level
+// shots (decoding.LogicalFailed): unsatisfied syndrome, or predicted
+// observable flips differing from the sampled truth.
+func LogicalFailed(obs *sparse.Mat, out Outcome, want, scratch gf2.Vec) bool {
+	return decoding.LogicalFailed(obs, out, want, scratch)
+}
+
 // ---- plain BP ----
 
 type bpAdapter struct {
