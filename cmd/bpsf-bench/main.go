@@ -1,0 +1,149 @@
+// Command bpsf-bench is the perf-trajectory harness: it runs the pinned
+// representative suite (sampler, every registered decoder kernel,
+// windowed vs whole-history, and the decode service over an in-process
+// serve+load loopback pair) and writes versioned BENCH_<area>.json
+// artifacts. The committed copies at the repo root are the baselines:
+// run plain `bpsf-bench` to adopt a new baseline, `bpsf-bench -compare`
+// to diff a fresh run against it with per-metric tolerance bands
+// (allocation regressions are exact-fail), exiting non-zero on any
+// regression. CI runs `bpsf-bench -smoke -compare` (DESIGN.md §9).
+//
+// Usage:
+//
+//	bpsf-bench                         # full run, adopt baselines in .
+//	bpsf-bench -smoke -compare         # CI gate against committed baselines
+//	bpsf-bench -areas decode -out /tmp # one area, artifacts elsewhere
+//	bpsf-bench -list                   # areas and named workload profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"bpsf/internal/bench"
+	"bpsf/internal/sim"
+)
+
+// parseAreas validates a comma-separated -areas value against the pinned
+// area vocabulary, preserving suite order; unknown areas error naming the
+// available set (the -decoder flag convention).
+func parseAreas(v string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, a := range bench.Areas() {
+		known[a] = true
+	}
+	want := make(map[string]bool)
+	for _, a := range strings.Split(v, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !known[a] {
+			return nil, fmt.Errorf("unknown area %q (areas: %v)", a, bench.Areas())
+		}
+		want[a] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("no areas selected (areas: %v)", bench.Areas())
+	}
+	var out []string
+	for _, a := range bench.Areas() {
+		if want[a] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bpsf-bench: ")
+	areasFlag := flag.String("areas", strings.Join(bench.Areas(), ","),
+		"comma-separated areas to run: "+strings.Join(bench.Areas(), ","))
+	out := flag.String("out", ".", "directory for fresh BENCH_<area>.json artifacts")
+	baseline := flag.String("baseline", ".", "directory holding committed baselines (-compare)")
+	compare := flag.Bool("compare", false,
+		"diff the fresh run against the committed baselines and exit non-zero on regression (instead of adopting it)")
+	smoke := flag.Bool("smoke", false,
+		"CI depth: identical workload set, shorter measurements and capped service shots")
+	tolerance := flag.Float64("tolerance", 100*bench.DefaultTolerance.Frac,
+		"regression band for time/throughput metrics, in percent (allocs/op is always exact-fail)")
+	slack := flag.Float64("cross-host-slack", bench.DefaultTolerance.CrossHostSlack,
+		"time-band multiplier applied when the baseline was measured on a different host class")
+	seed := flag.Int64("seed", 1, "suite sampler/decoder seed")
+	list := flag.Bool("list", false, "print the areas and named workload profiles, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("areas: %s\n\nworkload profiles (bpsf-load -profile <name>):\n", strings.Join(bench.Areas(), ", "))
+		for _, name := range bench.ProfileNames() {
+			p, _ := bench.GetProfile(name)
+			fmt.Printf("  %-18s %s\n", name, p.Description)
+		}
+		return
+	}
+	areas, err := parseAreas(*areasFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	cfg := bench.Config{Smoke: *smoke, Seed: *seed}
+	tol := bench.Tolerance{Frac: *tolerance / 100, CrossHostSlack: *slack}
+
+	totalRegressions := 0
+	for _, area := range areas {
+		fmt.Printf("== area %s ==\n", area)
+		rep, err := bench.Run(area, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		if !*compare {
+			tb := sim.NewTable("workload", "metric", "value", "n")
+			for _, e := range rep.Entries {
+				tb.Row(e.Workload, e.Metric, e.Value, e.N)
+			}
+			if err := tb.Write(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		base, err := bench.ReadArea(*baseline, area)
+		if err != nil {
+			log.Fatalf("no usable committed baseline for area %s: %v\n"+
+				"(run `bpsf-bench -areas %s -out %s` to adopt one)", area, err, area, *baseline)
+		}
+		deltas, regressions := bench.Compare(base, rep, tol)
+		tb := sim.NewTable("workload", "metric", "base", "fresh", "ratio", "verdict")
+		for _, d := range deltas {
+			verdict := "ok"
+			if d.Regressed {
+				verdict = "REGRESSED: " + d.Reason
+			} else if d.Reason != "" {
+				verdict = d.Reason
+			}
+			tb.Row(d.Workload, d.Metric, d.Base, d.Fresh, d.Ratio, verdict)
+		}
+		if err := tb.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if base.Host.Fingerprint() != rep.Host.Fingerprint() {
+			fmt.Printf("note: baseline host %s != this host %s — time bands widened %gx, allocs stay exact\n",
+				base.Host.Fingerprint(), rep.Host.Fingerprint(), *slack)
+		}
+		totalRegressions += regressions
+	}
+	if totalRegressions > 0 {
+		log.Fatalf("%d metric(s) regressed beyond tolerance against the committed baselines", totalRegressions)
+	}
+	if *compare {
+		fmt.Println("perf trajectory: no regressions against the committed baselines")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bpsf/internal/bench"
+)
+
+// TestParseAreas is the table-driven -areas validation, matching the
+// -decoder flag convention: unknown values error naming the available
+// set (the CLI exits non-zero via log.Fatal), valid subsets run in
+// pinned suite order regardless of flag order.
+func TestParseAreas(t *testing.T) {
+	cases := []struct {
+		value   string
+		want    string
+		wantErr bool
+	}{
+		{"sampler,decode,window,service", "sampler,decode,window,service", false},
+		{"service,sampler", "sampler,service", false}, // suite order, not flag order
+		{"decode", "decode", false},
+		{" window , decode ", "decode,window", false},
+		{"decode,decode", "decode", false},
+		{"", "", true},
+		{",", "", true},
+		{"nope", "", true},
+		{"decode,nope", "", true},
+		{"Decode", "", true}, // case-sensitive, like -decoder
+	}
+	for _, tc := range cases {
+		t.Run("value="+tc.value, func(t *testing.T) {
+			got, err := parseAreas(tc.value)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("-areas %q accepted: %v", tc.value, got)
+				}
+				if !strings.Contains(err.Error(), "areas:") {
+					t.Errorf("error %q does not print the available set", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if joined := strings.Join(got, ","); joined != tc.want {
+				t.Errorf("-areas %q = %q, want %q", tc.value, joined, tc.want)
+			}
+		})
+	}
+}
+
+// TestDefaultAreasCoverSuite pins the default flag value to the full
+// pinned suite — adding an area to bench.Areas() automatically lands in
+// the CLI default and in CI's `bpsf-bench -smoke -compare`.
+func TestDefaultAreasCoverSuite(t *testing.T) {
+	got, err := parseAreas(strings.Join(bench.Areas(), ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(bench.Areas()) {
+		t.Errorf("default areas %v != suite %v", got, bench.Areas())
+	}
+}

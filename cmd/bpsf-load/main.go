@@ -14,9 +14,15 @@
 //
 // Usage:
 //
+// Named workload profiles (-profile, registry in internal/bench) replay
+// the exact canonical mixes the bpsf-bench service baselines measure, so
+// any committed BENCH_service.json number is one command to reproduce;
+// explicitly set flags override the profile's corresponding field.
+//
 //	bpsf-load -addr 127.0.0.1:7421 -code bb144 -p 0.003 -shots 10000 -sessions 8
 //	bpsf-load -addr 127.0.0.1:7421 -mode open -rate 2000 -deadline 5ms -shots 20000
 //	bpsf-load -addr 127.0.0.1:7421 -code bb72 -batch off -batch-size 32
+//	bpsf-load -addr 127.0.0.1:7421 -profile bulk-bb72-bposd
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"bpsf/internal/bench"
 	"bpsf/internal/code"
 	"bpsf/internal/codes"
 	"bpsf/internal/decoding"
@@ -38,6 +45,69 @@ import (
 	"bpsf/internal/sim"
 	"bpsf/internal/window"
 )
+
+// applyProfile overlays a named workload profile onto the flag values:
+// each profile field becomes the default of its corresponding flag, and
+// any flag the user set explicitly (isSet) wins over the profile.
+func applyProfile(prof bench.Profile, isSet func(string) bool, v profileFlags) {
+	assignStr := func(name string, dst *string, val string) {
+		if !isSet(name) {
+			*dst = val
+		}
+	}
+	assignInt := func(name string, dst *int, val int) {
+		if !isSet(name) {
+			*dst = val
+		}
+	}
+	assignF64 := func(name string, dst *float64, val float64) {
+		if !isSet(name) {
+			*dst = val
+		}
+	}
+	assignStr("code", v.code, prof.Code)
+	assignInt("rounds", v.rounds, prof.Rounds)
+	assignF64("p", v.p, prof.P)
+	assignStr("decoder", v.decoder, prof.Spec.Kind)
+	assignInt("bp-iters", v.bpIters, prof.Spec.BPIters)
+	assignInt("osd-order", v.osdOrder, prof.Spec.OSDOrder)
+	assignInt("phi", v.phi, prof.Spec.Phi)
+	assignInt("wmax", v.wmax, prof.Spec.WMax)
+	assignInt("ns", v.ns, prof.Spec.NS)
+	batch := "off"
+	if prof.ServerSample {
+		batch = "on"
+	}
+	assignStr("batch", v.batch, batch)
+	assignInt("batch-size", v.batchSize, prof.BatchSize)
+	assignInt("sessions", v.sessions, prof.Sessions)
+	assignInt("shots", v.shots, prof.Shots)
+	assignStr("mode", v.mode, prof.Mode)
+	assignF64("rate", v.rate, prof.Rate)
+	assignInt("window", v.window, prof.Window)
+	assignInt("commit", v.commit, prof.Commit)
+}
+
+// profileFlags collects the flag targets a profile may preset.
+type profileFlags struct {
+	code, decoder, batch, mode                 *string
+	rounds, bpIters, osdOrder, phi, wmax, ns   *int
+	batchSize, sessions, shots, window, commit *int
+	p, rate                                    *float64
+}
+
+// failAll prints every collected session error and exits non-zero once —
+// the load generator never discards a failure (the pre-PR6 code
+// log.Fataled on the first error and dropped the rest).
+func failAll(errs []error) {
+	if len(errs) == 0 {
+		return
+	}
+	for _, err := range errs {
+		log.Print(err)
+	}
+	os.Exit(1)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -67,7 +137,25 @@ func main() {
 	commitRounds := flag.Int("commit", 1, "committed rounds per stream window (streaming mode)")
 	replay := flag.Bool("replay", false,
 		"streaming mode: replay the first recorded round stream and require byte-identical commits (library + service)")
+	profile := flag.String("profile", "",
+		"named workload profile to replay: "+fmt.Sprint(bench.ProfileNames())+" (explicit flags override; see bpsf-bench -list)")
 	flag.Parse()
+
+	if *profile != "" {
+		prof, err := bench.GetProfile(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		applyProfile(prof, func(name string) bool { return set[name] }, profileFlags{
+			code: codeName, rounds: rounds, p: p, decoder: decoder,
+			bpIters: bpIters, osdOrder: osdOrder, phi: phi, wmax: wmax, ns: ns,
+			batch: batch, batchSize: batchSize, sessions: sessions, shots: shots,
+			mode: mode, rate: rate, window: windowRounds, commit: commitRounds,
+		})
+		fmt.Printf("profile %s: %s\n", prof.Name, prof.Description)
+	}
 
 	useBatch, err := sim.ParseBatchFlag(*batch)
 	if err != nil {
@@ -130,144 +218,37 @@ func main() {
 	fmt.Printf("%s-loop: %d sessions, %d shots, batch %d, %s\n",
 		*mode, *sessions, *shots, *batchSize, sampling)
 
-	perSession := (*shots + *sessions - 1) / *sessions
-	var interval time.Duration
-	if *mode == "open" {
-		if *rate <= 0 {
-			log.Fatal("-mode open needs -rate > 0")
+	// The batch plane runs on the shared load driver (service.DriveLoad,
+	// also the bpsf-bench service-area loopback driver). Every failure
+	// path is accounted there: open-loop batches whose responses never
+	// arrive are counted and reported — they used to be silently dropped,
+	// letting -max-shed 0 pass on runs that lost work — and ALL session
+	// errors come back joined, not just the first.
+	res, err := service.DriveLoad(*addr, service.LoadConfig{
+		Code: *codeName, Rounds: r, P: *p, Spec: spec,
+		Sessions: *sessions, Shots: *shots, BatchSize: *batchSize,
+		ServerSample: useBatch, DEM: d,
+		Mode: *mode, Rate: *rate,
+		Seed: *seed, Deadline: *deadline,
+	})
+	if err != nil {
+		if res.FailedBatches > 0 {
+			log.Printf("%d batch(es) lost without responses (decoded %d, shed %d of %d shots):",
+				res.FailedBatches, res.Decoded, res.Shed, *shots)
 		}
-		// per-session batch arrival interval; sessions are staggered by Dial
-		// time so total arrivals approximate -rate
-		interval = time.Duration(float64(*sessions) * float64(*batchSize) / *rate * float64(time.Second))
-	} else if *mode != "closed" {
-		log.Fatalf("unknown mode %q (want closed|open)", *mode)
-	}
-
-	var mu sync.Mutex
-	var serverLat, clientLat []time.Duration
-	var decoded, shed, failures, logical int
-	record := func(rtt time.Duration, resps []service.Response) {
-		mu.Lock()
-		defer mu.Unlock()
-		clientLat = append(clientLat, rtt)
-		for _, resp := range resps {
-			if resp.Shed {
-				shed++
-				continue
-			}
-			decoded++
-			serverLat = append(serverLat, resp.Latency)
-			if !resp.Success {
-				failures++
-			}
-			if resp.Failed {
-				logical++
-			}
-		}
-	}
-
-	var wg sync.WaitGroup
-	errs := make(chan error, *sessions)
-	t0 := time.Now()
-	for s := 0; s < *sessions; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			h := service.Hello{
-				Code: *codeName, Rounds: r, P: *p,
-				StreamSeed: *seed + int64(s)*1000,
-				Deadline:   *deadline,
-				Spec:       spec,
-			}
-			c, err := service.Dial(*addr, h)
-			if err != nil {
-				errs <- fmt.Errorf("session %d: %w", s, err)
-				return
-			}
-			defer c.Close()
-			// -batch on: the server samples via its word-parallel frame
-			// sampler (SubmitSample) — no syndrome bytes go upstream.
-			// -batch off: the retained client-side scalar path.
-			var sampler *dem.Sampler
-			var buf []gf2.Vec
-			if !useBatch {
-				sampler = dem.NewSampler(d, *p, *seed+int64(s))
-				buf = make([]gf2.Vec, *batchSize)
-				for i := range buf {
-					buf[i] = gf2.NewVec(d.NumDets)
-				}
-			}
-			var pending sync.WaitGroup
-			next := time.Now()
-			for sent := 0; sent < perSession; {
-				n := *batchSize
-				if perSession-sent < n {
-					n = perSession - sent
-				}
-				if !useBatch {
-					for i := 0; i < n; i++ {
-						syn, _ := sampler.SampleShared()
-						buf[i].CopyFrom(syn)
-					}
-				}
-				if interval > 0 {
-					// open loop: hold the schedule even when responses lag
-					if d := time.Until(next); d > 0 {
-						time.Sleep(d)
-					}
-					next = next.Add(interval)
-				}
-				sendT := time.Now()
-				var pend *service.Pending
-				var err error
-				if useBatch {
-					pend, err = c.SubmitSample(n)
-				} else {
-					pend, err = c.Submit(buf[:n])
-				}
-				if err != nil {
-					errs <- fmt.Errorf("session %d: %w", s, err)
-					return
-				}
-				sent += n
-				if interval > 0 {
-					pending.Add(1)
-					go func() {
-						defer pending.Done()
-						if resps, err := pend.Wait(); err == nil {
-							record(time.Since(sendT), resps)
-						}
-					}()
-				} else {
-					resps, err := pend.Wait()
-					if err != nil {
-						errs <- fmt.Errorf("session %d: %w", s, err)
-						return
-					}
-					record(time.Since(sendT), resps)
-				}
-			}
-			pending.Wait()
-		}(s)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
 		log.Fatal(err)
 	}
-	wall := time.Since(t0)
 
-	tput := float64(decoded) / wall.Seconds()
 	fmt.Printf("\n%d decoded, %d shed, %d decode failures in %v  →  %.0f syndromes/s\n",
-		decoded, shed, failures, wall.Round(time.Millisecond), tput)
-	if useBatch && decoded > 0 {
+		res.Decoded, res.Shed, res.DecodeFailures, res.Wall.Round(time.Millisecond), res.Throughput())
+	if useBatch && res.Decoded > 0 {
 		fmt.Printf("%d logical failures among the server-sampled shots (LER %.2e)\n",
-			logical, float64(logical)/float64(decoded))
+			res.LogicalFailures, float64(res.LogicalFailures)/float64(res.Decoded))
 	}
 
 	ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
-	srv := sim.Summarize(serverLat)
-	cli := sim.Summarize(clientLat)
+	srv := sim.Summarize(res.ServerLat)
+	cli := sim.Summarize(res.ClientLat)
 	tb := sim.NewTable("latency", "n", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms", "max ms")
 	tb.Row("server (queue+decode)", srv.N, ms(srv.P50), ms(srv.P95), ms(srv.P99), ms(srv.P999), ms(srv.Max))
 	tb.Row("client batch RTT", cli.N, ms(cli.P50), ms(cli.P95), ms(cli.P99), ms(cli.P999), ms(cli.Max))
@@ -275,8 +256,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *maxShed >= 0 && shed > *maxShed {
-		log.Fatalf("shed %d responses, budget %d", shed, *maxShed)
+	if *maxShed >= 0 && res.Shed > *maxShed {
+		log.Fatalf("shed %d responses, budget %d", res.Shed, *maxShed)
 	}
 }
 
@@ -440,9 +421,11 @@ func runStreamLoad(cfg streamLoadConfig) {
 	}
 	wg.Wait()
 	close(errs)
+	var all []error
 	for err := range errs {
-		log.Fatal(err)
+		all = append(all, err)
 	}
+	failAll(all) // every session's failure, not just the first
 	wall := time.Since(t0)
 
 	fmt.Printf("\n%d streams (%d windows committed), %d stream failures, 0 shed in %v  →  %.0f windows/s\n",

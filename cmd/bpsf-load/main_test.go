@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"bpsf/internal/bench"
 	"bpsf/internal/service"
 	"bpsf/internal/sim"
 )
@@ -48,6 +49,71 @@ func TestBatchFlagValues(t *testing.T) {
 				t.Errorf("-batch %q = %v, want %v", tc.value, got, tc.want)
 			}
 		})
+	}
+}
+
+// TestProfileFlagValidation is the -profile validation, matching the
+// -decoder convention: unknown names make the CLI exit non-zero (via
+// log.Fatal on this error) printing the available profile set.
+func TestProfileFlagValidation(t *testing.T) {
+	if _, err := bench.GetProfile("edge-rsurf5-uf"); err != nil {
+		t.Errorf("known profile rejected: %v", err)
+	}
+	_, err := bench.GetProfile("nope")
+	if err == nil {
+		t.Fatal("-profile nope accepted")
+	}
+	for _, name := range bench.ProfileNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not print available profile %q", err, name)
+		}
+	}
+}
+
+// TestApplyProfilePrecedence pins the merge rule: every profile field
+// lands in its flag unless that flag was set explicitly, in which case
+// the explicit value wins.
+func TestApplyProfilePrecedence(t *testing.T) {
+	prof, err := bench.GetProfile("bulk-bb72-bposd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeName, decoder, batch, mode := "bb144", "bpsf", "on", "closed"
+	rounds, bpIters, osdOrder, phi, wmax, ns := 0, 100, 10, 50, 10, 10
+	batchSize, sessions, shots, window, commit := 16, 4, 1000, 0, 1
+	p, rate := 0.003, 500.0
+	v := profileFlags{
+		code: &codeName, rounds: &rounds, p: &p, decoder: &decoder,
+		bpIters: &bpIters, osdOrder: &osdOrder, phi: &phi, wmax: &wmax, ns: &ns,
+		batch: &batch, batchSize: &batchSize, sessions: &sessions, shots: &shots,
+		mode: &mode, rate: &rate, window: &window, commit: &commit,
+	}
+
+	explicit := map[string]bool{"shots": true, "p": true}
+	shots, p = 9999, 1e-4 // what the user typed
+	applyProfile(prof, func(name string) bool { return explicit[name] }, v)
+
+	if codeName != prof.Code || decoder != prof.Spec.Kind || bpIters != prof.Spec.BPIters ||
+		osdOrder != prof.Spec.OSDOrder || batchSize != prof.BatchSize || sessions != prof.Sessions ||
+		mode != prof.Mode || window != prof.Window {
+		t.Errorf("profile fields not applied: code %s decoder %s bp-iters %d osd %d batch-size %d sessions %d mode %s window %d",
+			codeName, decoder, bpIters, osdOrder, batchSize, sessions, mode, window)
+	}
+	if batch != "on" {
+		t.Errorf("server-sampled profile set -batch %q, want on", batch)
+	}
+	if shots != 9999 || p != 1e-4 {
+		t.Errorf("explicit flags overridden: shots %d, p %g", shots, p)
+	}
+
+	// a streaming profile presets the window/commit plane
+	stream, err := bench.GetProfile("stream-rsurf5-uf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyProfile(stream, func(string) bool { return false }, v)
+	if window != stream.Window || commit != stream.Commit || batch != "off" {
+		t.Errorf("streaming profile applied window %d commit %d batch %q", window, commit, batch)
 	}
 }
 

@@ -1,0 +1,104 @@
+package bench
+
+import "fmt"
+
+// Tolerance configures Compare's regression bands.
+type Tolerance struct {
+	// Frac is the relative band for tolerance-banded metrics: a
+	// lower-is-better metric regresses when fresh > base·(1+Frac), a
+	// higher-is-better one when fresh < base/(1+Frac). Allocation counts
+	// ignore Frac — any increase is a regression.
+	Frac float64
+	// CrossHostSlack multiplies Frac when the two reports' host
+	// fingerprints differ: absolute nanoseconds are only tightly
+	// comparable within a host class, while allocs stay exact everywhere.
+	CrossHostSlack float64
+}
+
+// DefaultTolerance is the calibrated band: 75% absorbs scheduler and
+// turbo noise on one host class while an injected 2× slowdown (+100%)
+// still fails; cross-host runs widen time bands 4× and keep allocation
+// regressions exact.
+var DefaultTolerance = Tolerance{Frac: 0.75, CrossHostSlack: 4}
+
+// Delta is one (workload, metric) comparison outcome.
+type Delta struct {
+	Workload, Metric string
+	Base, Fresh      float64
+	// Ratio is fresh/base in the metric's natural direction (>1 = worse
+	// for lower-is-better metrics, <1 = worse for higher-is-better).
+	Ratio     float64
+	Regressed bool
+	Reason    string // set when Regressed, or informational ("no baseline")
+}
+
+// higherIsBetter classifies a metric's direction.
+func higherIsBetter(metric string) bool { return metric == MetricShotsPerSec }
+
+// Compare diffs a fresh report against the committed baseline and returns
+// every (workload, metric) outcome plus the regression count. A baseline
+// entry with no fresh counterpart is itself a regression (a silently
+// dropped workload must not pass); fresh entries without a baseline are
+// reported informationally so `bpsf-bench` can be run once to adopt them.
+func Compare(base, fresh *Report, tol Tolerance) (deltas []Delta, regressions int) {
+	if tol.Frac <= 0 {
+		tol = DefaultTolerance
+	}
+	frac := tol.Frac
+	if base.Host.Fingerprint() != fresh.Host.Fingerprint() {
+		slack := tol.CrossHostSlack
+		if slack <= 1 {
+			slack = DefaultTolerance.CrossHostSlack
+		}
+		frac *= slack
+	}
+
+	for _, b := range base.Entries {
+		f, ok := fresh.Lookup(b.Workload, b.Metric)
+		if !ok {
+			deltas = append(deltas, Delta{
+				Workload: b.Workload, Metric: b.Metric, Base: b.Value,
+				Regressed: true, Reason: "workload missing from fresh run",
+			})
+			regressions++
+			continue
+		}
+		d := Delta{Workload: b.Workload, Metric: b.Metric, Base: b.Value, Fresh: f.Value, Ratio: 1}
+		if b.Value != 0 {
+			d.Ratio = f.Value / b.Value
+		}
+		switch {
+		case b.Metric == MetricAllocsPerOp:
+			if f.Value > b.Value {
+				d.Regressed = true
+				d.Reason = fmt.Sprintf("allocs/op rose %.0f → %.0f (exact-fail)", b.Value, f.Value)
+			}
+		case higherIsBetter(b.Metric):
+			if f.Value < b.Value/(1+frac) {
+				d.Regressed = true
+				d.Reason = fmt.Sprintf("%s fell %.3g → %.3g (band −%.0f%%)", b.Metric, b.Value, f.Value, 100*frac/(1+frac))
+			}
+		default: // lower is better, tolerance-banded
+			if b.Value == 0 {
+				break // degenerate baseline; nothing to band against
+			}
+			if f.Value > b.Value*(1+frac) {
+				d.Regressed = true
+				d.Reason = fmt.Sprintf("%s rose %.3g → %.3g (band +%.0f%%)", b.Metric, b.Value, f.Value, 100*frac)
+			}
+		}
+		if d.Regressed {
+			regressions++
+		}
+		deltas = append(deltas, d)
+	}
+	for _, f := range fresh.Entries {
+		if _, ok := base.Lookup(f.Workload, f.Metric); !ok {
+			deltas = append(deltas, Delta{
+				Workload: f.Workload, Metric: f.Metric, Fresh: f.Value, Ratio: 1,
+				Reason: "no baseline (new workload; rerun bpsf-bench to adopt)",
+			})
+		}
+	}
+	return deltas, regressions
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func pairedReports() (*Report, *Report) {
+	base := NewReport("decode")
+	base.Add("decode/rsurf5/uf", MetricNsPerOp, 1000, 1000)
+	base.Add("decode/rsurf5/uf", MetricAllocsPerOp, 0, 1000)
+	base.Add("service/edge", MetricShotsPerSec, 50000, 4096)
+	fresh := NewReport("decode")
+	fresh.Host = base.Host
+	fresh.Add("decode/rsurf5/uf", MetricNsPerOp, 1000, 1000)
+	fresh.Add("decode/rsurf5/uf", MetricAllocsPerOp, 0, 1000)
+	fresh.Add("service/edge", MetricShotsPerSec, 50000, 4096)
+	return base, fresh
+}
+
+func setEntry(r *Report, workload, metric string, v float64) {
+	for i := range r.Entries {
+		if r.Entries[i].Workload == workload && r.Entries[i].Metric == metric {
+			r.Entries[i].Value = v
+			return
+		}
+	}
+	panic("no such entry: " + workload + " " + metric)
+}
+
+func regressionCount(t *testing.T, base, fresh *Report) (int, []Delta) {
+	t.Helper()
+	deltas, n := Compare(base, fresh, DefaultTolerance)
+	return n, deltas
+}
+
+// TestCompareFailsOnInjectedSlowdown is the acceptance demonstration: a
+// ≥2× ns/op slowdown against the committed baseline must fail compare
+// under the default tolerance band.
+func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
+	base, fresh := pairedReports()
+	setEntry(fresh, "decode/rsurf5/uf", MetricNsPerOp, 2000) // injected 2× slowdown
+	n, deltas := regressionCount(t, base, fresh)
+	if n != 1 {
+		t.Fatalf("regressions = %d, want exactly the injected slowdown; deltas: %+v", n, deltas)
+	}
+	for _, d := range deltas {
+		if d.Regressed && (d.Metric != MetricNsPerOp || d.Ratio != 2) {
+			t.Errorf("wrong regression flagged: %+v", d)
+		}
+	}
+}
+
+// TestCompareWithinBandPasses: ordinary run-to-run noise inside the band
+// is not a regression, in either direction.
+func TestCompareWithinBandPasses(t *testing.T) {
+	base, fresh := pairedReports()
+	setEntry(fresh, "decode/rsurf5/uf", MetricNsPerOp, 1600)    // +60% < +75% band
+	setEntry(fresh, "service/edge", MetricShotsPerSec, 30000)   // −40%, within −43% band
+	if n, deltas := regressionCount(t, base, fresh); n != 0 {
+		t.Errorf("regressions = %d within the band; deltas: %+v", n, deltas)
+	}
+	setEntry(fresh, "decode/rsurf5/uf", MetricNsPerOp, 100) // large improvement
+	if n, _ := regressionCount(t, base, fresh); n != 0 {
+		t.Error("an improvement counted as a regression")
+	}
+}
+
+// TestCompareAllocsExactFail: allocation regressions have no band — one
+// extra alloc/op fails, matching the repo's AllocsPerRun discipline.
+func TestCompareAllocsExactFail(t *testing.T) {
+	base, fresh := pairedReports()
+	setEntry(fresh, "decode/rsurf5/uf", MetricAllocsPerOp, 1)
+	n, deltas := regressionCount(t, base, fresh)
+	if n != 1 {
+		t.Fatalf("regressions = %d, want the alloc exact-fail; deltas: %+v", n, deltas)
+	}
+	for _, d := range deltas {
+		if d.Regressed && !strings.Contains(d.Reason, "exact-fail") {
+			t.Errorf("alloc regression reason = %q", d.Reason)
+		}
+	}
+}
+
+// TestCompareThroughputRegression: higher-is-better metrics regress
+// downward.
+func TestCompareThroughputRegression(t *testing.T) {
+	base, fresh := pairedReports()
+	setEntry(fresh, "service/edge", MetricShotsPerSec, 20000) // −60%, beyond the −43% band
+	if n, _ := regressionCount(t, base, fresh); n != 1 {
+		t.Errorf("regressions = %d for a 2.5× throughput collapse", n)
+	}
+}
+
+// TestCompareMissingWorkloadFails: silently dropping a baselined
+// workload is itself a regression.
+func TestCompareMissingWorkloadFails(t *testing.T) {
+	base, fresh := pairedReports()
+	fresh.Entries = fresh.Entries[:1]
+	n, deltas := regressionCount(t, base, fresh)
+	if n != 2 {
+		t.Errorf("regressions = %d, want 2 missing entries; deltas: %+v", n, deltas)
+	}
+}
+
+// TestCompareNewWorkloadInformational: fresh entries without a baseline
+// are reported but never fail (run bpsf-bench once to adopt them).
+func TestCompareNewWorkloadInformational(t *testing.T) {
+	base, fresh := pairedReports()
+	fresh.Add("decode/toric4/uf", MetricNsPerOp, 500, 100)
+	n, deltas := regressionCount(t, base, fresh)
+	if n != 0 {
+		t.Errorf("regressions = %d for a new workload", n)
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Workload == "decode/toric4/uf" && strings.Contains(d.Reason, "no baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new workload not reported informationally")
+	}
+}
+
+// TestCompareCrossHostSlack: on a different host class the time band
+// widens by the slack factor (2× passes at 4×75%=300%), while allocation
+// regressions stay exact.
+func TestCompareCrossHostSlack(t *testing.T) {
+	base, fresh := pairedReports()
+	fresh.Host.CPUs = base.Host.CPUs + 64 // different fingerprint
+	setEntry(fresh, "decode/rsurf5/uf", MetricNsPerOp, 2000)
+	if n, deltas := regressionCount(t, base, fresh); n != 0 {
+		t.Errorf("regressions = %d: cross-host slack not applied; deltas: %+v", n, deltas)
+	}
+	setEntry(fresh, "decode/rsurf5/uf", MetricNsPerOp, 4100) // beyond even 4× slack
+	if n, _ := regressionCount(t, base, fresh); n != 1 {
+		t.Error("a beyond-slack slowdown passed cross-host compare")
+	}
+	setEntry(fresh, "decode/rsurf5/uf", MetricNsPerOp, 1000)
+	setEntry(fresh, "decode/rsurf5/uf", MetricAllocsPerOp, 1)
+	if n, _ := regressionCount(t, base, fresh); n != 1 {
+		t.Error("alloc exact-fail not enforced cross-host")
+	}
+}

@@ -1,0 +1,82 @@
+// Package bench is the perf-trajectory harness: it runs a pinned,
+// representative suite of workloads — the sampler, every registered
+// decoder kernel, windowed vs whole-history decoding, and the decode
+// service over an in-process loopback — and writes schema-stable
+// BENCH_<area>.json artifacts whose committed copies are the baselines
+// every future perf claim is measured against (cmd/bpsf-bench -compare).
+// Named workload profiles defined here are replayed identically by
+// bpsf-bench's service area and by bpsf-load -profile, SPEC-style: one
+// command reproduces any number in the baselines (DESIGN.md §9).
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// Measurement is one workload's measured steady-state cost.
+type Measurement struct {
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64
+	// AllocsPerOp is heap allocations per operation (integer-rounded like
+	// testing.BenchmarkResult, so zero-alloc kernels report exactly 0).
+	AllocsPerOp float64
+	// N is the iteration count behind the measurement.
+	N int
+}
+
+// Measure times f — which must perform exactly n iterations of the
+// workload — growing n geometrically until one timed run lasts at least
+// minTime, and returns the final run's per-op cost. One untimed warm-up
+// iteration runs first so lazy initialization (buffer growth, pool
+// fills) is excluded from the steady state, mirroring the repo's
+// AllocsPerRun discipline.
+func Measure(minTime time.Duration, f func(n int)) Measurement {
+	f(1) // warm-up, untimed
+	var before, after runtime.MemStats
+	for n := 1; ; {
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		f(n)
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		if elapsed >= minTime || n >= 1<<30 {
+			if elapsed <= 0 {
+				elapsed = 1 // degenerate clock resolution; avoid 0 ns/op
+			}
+			return Measurement{
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64((after.Mallocs - before.Mallocs) / uint64(n)),
+				N:           n,
+			}
+		}
+		// grow toward minTime like testing.B: at least double, at most
+		// 100×, aiming 20% past the target so one more run usually suffices
+		next := int(1.2 * float64(minTime) / float64(elapsed+1) * float64(n))
+		if next < 2*n {
+			next = 2 * n
+		}
+		if next > 100*n {
+			next = 100 * n
+		}
+		n = next
+	}
+}
+
+// MeasureShots measures f — whose single operation must process one full
+// sweep over a fixed pool of `shots` inputs — and reports per-shot cost.
+// Sweeping whole pools keeps the measured input mix (and therefore
+// allocs/op, which compare treats as exact) independent of the iteration
+// count: a smoke run and a full run cover the same shots in the same
+// proportions, where a per-shot loop would stop at an arbitrary i%shots
+// offset and measure a different mix each time. Allocs are floored to an
+// integer per shot (the testing.B discipline, applied at shot rather
+// than sweep granularity) so the handful of stray runtime allocations a
+// multi-second sweep accumulates can't perturb an exact-fail metric.
+func MeasureShots(minTime time.Duration, shots int, f func(n int)) Measurement {
+	m := Measure(minTime, f)
+	m.NsPerOp /= float64(shots)
+	m.AllocsPerOp = float64(int(m.AllocsPerOp) / shots)
+	m.N *= shots
+	return m
+}

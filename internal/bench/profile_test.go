@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"bpsf/internal/codes"
+)
+
+// TestProfilesAreRunnable validates every registered profile the way the
+// CLIs would consume it: catalog code, validating decoder spec, sane load
+// model, and a batch-plane LoadConfig that passes the driver's own
+// validation.
+func TestProfilesAreRunnable(t *testing.T) {
+	cat := codes.Catalog()
+	for name, p := range Profiles() {
+		t.Run(name, func(t *testing.T) {
+			if p.Name != name {
+				t.Errorf("Name %q != registry key %q", p.Name, name)
+			}
+			if p.Description == "" {
+				t.Error("empty Description")
+			}
+			if _, ok := cat[p.Code]; !ok {
+				t.Errorf("code %q not in the catalog", p.Code)
+			}
+			if err := p.Spec.Validate(); err != nil {
+				t.Errorf("spec: %v", err)
+			}
+			if p.Mode != "closed" && p.Mode != "open" {
+				t.Errorf("mode %q", p.Mode)
+			}
+			if p.Mode == "open" && p.Rate <= 0 {
+				t.Error("open mode with no rate")
+			}
+			if p.Sessions <= 0 || p.Shots <= 0 {
+				t.Errorf("degenerate load: sessions %d, shots %d", p.Sessions, p.Shots)
+			}
+			if p.Window < 0 || p.Commit < 0 || (p.Window > 0 && p.Commit > p.Window) {
+				t.Errorf("bad window/commit %d/%d", p.Window, p.Commit)
+			}
+			if p.Window == 0 {
+				if _, err := p.LoadConfig(1, 0).Validate(); err != nil {
+					t.Errorf("LoadConfig rejected by the driver: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestGetProfileUnknown pins the -profile validation convention: unknown
+// names error, printing the available set, like the -decoder flag.
+func TestGetProfileUnknown(t *testing.T) {
+	_, err := GetProfile("nope")
+	if err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "known profiles") {
+		t.Errorf("error %q does not announce the available set", msg)
+	}
+	for _, name := range ProfileNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q omits profile %q", msg, name)
+		}
+	}
+}
+
+// TestProfileNamesSorted: the flag help and error listings are stable.
+func TestProfileNamesSorted(t *testing.T) {
+	names := ProfileNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("ProfileNames not sorted: %v", names)
+	}
+	if len(names) != len(Profiles()) {
+		t.Errorf("%d names for %d profiles", len(names), len(Profiles()))
+	}
+}
+
+// TestServiceProfilesAreBatchPlane: the bench service area only measures
+// batch-plane profiles, and measures at least two of them.
+func TestServiceProfilesAreBatchPlane(t *testing.T) {
+	names := ServiceProfiles()
+	if len(names) < 2 {
+		t.Fatalf("service area covers only %v", names)
+	}
+	for _, name := range names {
+		p, err := GetProfile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Window != 0 {
+			t.Errorf("streaming profile %q in the service area", name)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion is the BENCH_*.json format version. Readers reject other
+// versions loudly; bump it only with a migration note in DESIGN.md §9.
+const SchemaVersion = 1
+
+// Metric names. The compare direction and tolerance class hang off these
+// strings (see Compare), so they are part of the schema.
+const (
+	// MetricNsPerOp: wall nanoseconds per operation (lower is better,
+	// tolerance-banded).
+	MetricNsPerOp = "ns/op"
+	// MetricAllocsPerOp: heap allocations per operation (lower is better,
+	// exact-fail: any increase over baseline is a regression).
+	MetricAllocsPerOp = "allocs/op"
+	// MetricShotsPerSec: decoded syndromes per second of wall clock
+	// (higher is better, tolerance-banded).
+	MetricShotsPerSec = "shots/s"
+	// MetricP50Ns / MetricP99Ns: server-side service-latency percentiles
+	// in nanoseconds (lower is better, tolerance-banded).
+	MetricP50Ns = "p50-ns"
+	MetricP99Ns = "p99-ns"
+)
+
+// Host identifies the machine class a report was measured on. Compare
+// widens time-metric tolerance bands when fingerprints differ (absolute
+// nanoseconds are only comparable within a host class); allocation counts
+// are host-invariant and stay exact.
+type Host struct {
+	Go   string `json:"go"`
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+	CPUs int    `json:"cpus"`
+}
+
+// CurrentHost fingerprints the running process.
+func CurrentHost() Host {
+	return Host{Go: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH, CPUs: runtime.NumCPU()}
+}
+
+// Fingerprint is the host-class identity used by Compare.
+func (h Host) Fingerprint() string {
+	return fmt.Sprintf("%s/%s/%s/%d", h.Go, h.OS, h.Arch, h.CPUs)
+}
+
+// Entry is one (workload, metric) measurement.
+type Entry struct {
+	// Workload is the pinned workload id, e.g. "decode/rsurf5/uf".
+	Workload string `json:"workload"`
+	// Metric is one of the Metric* constants.
+	Metric string `json:"metric"`
+	// Value is the measurement in the metric's unit.
+	Value float64 `json:"value"`
+	// N is the iteration / sample count behind the value.
+	N int `json:"n"`
+}
+
+// Report is one area's BENCH_<area>.json artifact.
+type Report struct {
+	Schema  int     `json:"schema"`
+	Area    string  `json:"area"`
+	Host    Host    `json:"host"`
+	Entries []Entry `json:"entries"`
+}
+
+// NewReport starts an empty report for area on the current host.
+func NewReport(area string) *Report {
+	return &Report{Schema: SchemaVersion, Area: area, Host: CurrentHost()}
+}
+
+// Add appends one measurement entry.
+func (r *Report) Add(workload, metric string, value float64, n int) {
+	r.Entries = append(r.Entries, Entry{Workload: workload, Metric: metric, Value: value, N: n})
+}
+
+// AddMeasurement records a Measurement as the workload's ns/op and
+// allocs/op entries.
+func (r *Report) AddMeasurement(workload string, m Measurement) {
+	r.Add(workload, MetricNsPerOp, m.NsPerOp, m.N)
+	r.Add(workload, MetricAllocsPerOp, m.AllocsPerOp, m.N)
+}
+
+// Lookup returns the entry for (workload, metric), if present.
+func (r *Report) Lookup(workload, metric string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Workload == workload && e.Metric == metric {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// sortEntries fixes the on-disk order (workload, then metric) so reruns
+// diff cleanly.
+func (r *Report) sortEntries() {
+	sort.Slice(r.Entries, func(i, j int) bool {
+		if r.Entries[i].Workload != r.Entries[j].Workload {
+			return r.Entries[i].Workload < r.Entries[j].Workload
+		}
+		return r.Entries[i].Metric < r.Entries[j].Metric
+	})
+}
+
+// FileName is the committed artifact name for an area: BENCH_<area>.json.
+func FileName(area string) string { return "BENCH_" + area + ".json" }
+
+// WriteFile writes the report into dir as its canonical BENCH_<area>.json
+// (sorted entries, indented, trailing newline — byte-stable for a given
+// measurement set).
+func (r *Report) WriteFile(dir string) error {
+	r.sortEntries()
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, FileName(r.Area)), append(b, '\n'), 0o644)
+}
+
+// ReadFile loads one BENCH_*.json and validates its schema version.
+func ReadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %d, this binary reads schema %d",
+			path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// ReadArea loads dir's baseline for one area.
+func ReadArea(dir, area string) (*Report, error) {
+	return ReadFile(filepath.Join(dir, FileName(area)))
+}

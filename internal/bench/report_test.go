@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportRoundTrip pins the on-disk artifact contract: canonical name,
+// sorted entries, schema stamp, and byte-stable reruns.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := NewReport("decode")
+	r.Add("decode/rsurf5/uf", MetricNsPerOp, 310, 100000)
+	r.Add("decode/bb72/bposd", MetricNsPerOp, 1500, 2000)
+	r.Add("decode/bb72/bposd", MetricAllocsPerOp, 0, 2000)
+	if err := r.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_decode.json")
+	if FileName("decode") != "BENCH_decode.json" {
+		t.Errorf("FileName = %q", FileName("decode"))
+	}
+
+	got, err := ReadArea(dir, "decode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.Area != "decode" || len(got.Entries) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Entries[0].Workload != "decode/bb72/bposd" || got.Entries[0].Metric != MetricAllocsPerOp {
+		t.Errorf("entries not in canonical (workload, metric) order: %+v", got.Entries)
+	}
+	if e, ok := got.Lookup("decode/rsurf5/uf", MetricNsPerOp); !ok || e.Value != 310 || e.N != 100000 {
+		t.Errorf("Lookup = %+v, %v", e, ok)
+	}
+
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("rewriting an unchanged report is not byte-stable")
+	}
+}
+
+// TestReadFileRejectsWrongSchema: future-format baselines must fail
+// loudly, not silently mis-compare.
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "area": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema 99") {
+		t.Errorf("wrong-schema read error = %v", err)
+	}
+	if _, err := ReadArea(dir, "missing"); err == nil {
+		t.Error("missing baseline read succeeded")
+	}
+}
+
+// TestMeasure pins the measurement core: iteration growth reaches the
+// time floor, per-op costs are positive, and an allocation-free body
+// reports exactly zero allocs/op (the discipline the decode baselines
+// assert).
+func TestMeasure(t *testing.T) {
+	var sink int
+	m := Measure(2*time.Millisecond, func(n int) {
+		for i := 0; i < n; i++ {
+			sink += i
+		}
+	})
+	if m.N < 2 {
+		t.Errorf("N = %d, want growth beyond the first probe", m.N)
+	}
+	if m.NsPerOp <= 0 {
+		t.Errorf("NsPerOp = %v", m.NsPerOp)
+	}
+	if m.AllocsPerOp != 0 {
+		t.Errorf("AllocsPerOp = %v for an allocation-free body", m.AllocsPerOp)
+	}
+
+	var escape []byte
+	alloc := Measure(time.Millisecond, func(n int) {
+		for i := 0; i < n; i++ {
+			escape = make([]byte, 64) // escapes: heap-allocates every iteration
+		}
+	})
+	sink += len(escape)
+	if alloc.AllocsPerOp < 1 {
+		t.Errorf("AllocsPerOp = %v for an allocating body, want ≥ 1", alloc.AllocsPerOp)
+	}
+}

@@ -75,7 +75,10 @@ func (h *histogram) snapshot() HistogramSnapshot {
 					return 0
 				}
 				upper := time.Duration(uint64(1) << uint(b))
-				if upper > h.max {
+				if b == 62 || upper > h.max {
+					// bucket 62 is open-ended (bucketOf clamps everything
+					// ≥ 2⁶²ns into it), so 1<<62 may undershoot the samples
+					// it holds; the observed maximum is the honest bound
 					upper = h.max
 				}
 				return upper
