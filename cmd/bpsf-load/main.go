@@ -139,6 +139,8 @@ func main() {
 		"streaming mode: replay the first recorded round stream and require byte-identical commits (library + service)")
 	profile := flag.String("profile", "",
 		"named workload profile to replay: "+fmt.Sprint(bench.ProfileNames())+" (explicit flags override; see bpsf-bench -list)")
+	pullStats := flag.Bool("stats", false,
+		"after the run, pull the server's telemetry snapshot in-protocol (msgStats) and print it")
 	flag.Parse()
 
 	if *profile != "" {
@@ -201,6 +203,7 @@ func main() {
 		fmt.Printf("%s, %d rounds, p=%g, decoder %s (server-side sampling)\n", entry.Name, r, *p, spec)
 	}
 
+	statsHello := service.Hello{Code: *codeName, Rounds: r, P: *p, Spec: spec}
 	if *windowRounds > 0 {
 		runStreamLoad(streamLoadConfig{
 			addr: *addr, codeName: *codeName, rounds: r, p: *p, spec: spec,
@@ -209,6 +212,9 @@ func main() {
 			seed: *seed, deadline: *deadline, replay: *replay, maxShed: *maxShed,
 			css: css, d: d,
 		})
+		if *pullStats {
+			printServerStats(*addr, statsHello)
+		}
 		return
 	}
 	sampling := "server-side batch sampling"
@@ -256,9 +262,30 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *pullStats {
+		printServerStats(*addr, statsHello)
+	}
+
 	if *maxShed >= 0 && res.Shed > *maxShed {
 		log.Fatalf("shed %d responses, budget %d", res.Shed, *maxShed)
 	}
+}
+
+// printServerStats opens a short stats session and prints the server's
+// full telemetry snapshot — the same data the admin plane's /statusz
+// serves, pulled in-protocol so it works with no admin listener bound.
+func printServerStats(addr string, h service.Hello) {
+	c, err := service.Dial(addr, h)
+	if err != nil {
+		log.Fatalf("stats session: %v", err)
+	}
+	defer c.Close()
+	snap, err := c.Stats()
+	if err != nil {
+		log.Fatalf("stats pull: %v", err)
+	}
+	fmt.Println("\nserver telemetry snapshot (msgStats):")
+	snap.WriteText(os.Stdout)
 }
 
 // ---- streaming mode ----

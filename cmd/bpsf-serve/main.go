@@ -10,7 +10,10 @@
 //	bpsf-serve -addr :7421 -pool-size 8 -queue-depth 1024
 //
 // SIGINT/SIGTERM drains gracefully: accepted work completes, final
-// per-pool stats print on exit.
+// per-pool stats print on exit. SIGUSR1 dumps the full telemetry
+// snapshot (pools, stage histograms, slowest traces, runtime) to stderr
+// without disturbing service. -admin binds the HTTP telemetry plane:
+// Prometheus /metrics, JSON /statusz and /debug/pprof (DESIGN.md §10).
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bpsf-serve: ")
 	addr := flag.String("addr", ":7421", "listen address")
+	admin := flag.String("admin", "", "admin/telemetry HTTP listen address serving /metrics, /statusz and /debug/pprof (empty = off)")
 	poolSize := flag.Int("pool-size", runtime.NumCPU(), "warm decoders per pool")
 	queueDepth := flag.Int("queue-depth", 1024, "admission queue bound per pool")
 	maxBatch := flag.Int("max-batch", 32, "adaptive coalescing cap")
@@ -68,6 +72,13 @@ func main() {
 	}
 	log.Printf("listening on %s (pool-size=%d queue-depth=%d max-batch=%d stream-window=%d commit=%d)",
 		srv.Addr(), *poolSize, *queueDepth, *maxBatch, *windowRounds, *commitRounds)
+	if *admin != "" {
+		adminAddr, err := srv.ServeAdmin(*admin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("admin plane on http://%s (/metrics /statusz /debug/pprof)", adminAddr)
+	}
 
 	if *statsEvery > 0 {
 		ticker := time.NewTicker(*statsEvery)
@@ -81,12 +92,27 @@ func main() {
 	}
 
 	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	sig := <-sigs
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	sig := waitSignals(sigs, func() { srv.Snapshot().WriteText(os.Stderr) })
 	log.Printf("%v: draining (grace %v)", sig, *drainGrace)
 	stats := srv.Drain(*drainGrace)
 	printStats(stats)
 	printStreamStats(srv.StreamingStats())
+}
+
+// waitSignals blocks until a terminating signal arrives, invoking onDump
+// for each SIGUSR1 along the way (the live stats dump; service is not
+// disturbed). Returns the terminating signal, or nil if the channel
+// closes first.
+func waitSignals(sigs <-chan os.Signal, onDump func()) os.Signal {
+	for sig := range sigs {
+		if sig == syscall.SIGUSR1 {
+			onDump()
+			continue
+		}
+		return sig
+	}
+	return nil
 }
 
 // parseDecoderKinds resolves the -decoders allowlist: a comma-separated

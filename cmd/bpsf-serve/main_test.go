@@ -1,8 +1,10 @@
 package main
 
 import (
+	"os"
 	"reflect"
 	"strings"
+	"syscall"
 	"testing"
 
 	"bpsf/internal/service"
@@ -48,5 +50,40 @@ func TestParseDecoderKinds(t *testing.T) {
 		if _, err := parseDecoderKinds(k); err != nil {
 			t.Errorf("registered kind %q rejected: %v", k, err)
 		}
+	}
+}
+
+// TestWaitSignals is the table-driven signal dispatch check: SIGUSR1
+// dumps stats and keeps waiting, the first terminating signal returns,
+// and a closed channel returns nil (no dump on teardown).
+func TestWaitSignals(t *testing.T) {
+	cases := []struct {
+		name      string
+		deliver   []os.Signal
+		wantDumps int
+		wantSig   os.Signal
+	}{
+		{"interrupt alone", []os.Signal{os.Interrupt}, 0, os.Interrupt},
+		{"term alone", []os.Signal{syscall.SIGTERM}, 0, syscall.SIGTERM},
+		{"usr1 then interrupt", []os.Signal{syscall.SIGUSR1, os.Interrupt}, 1, os.Interrupt},
+		{"repeated usr1 then term", []os.Signal{syscall.SIGUSR1, syscall.SIGUSR1, syscall.SIGUSR1, syscall.SIGTERM}, 3, syscall.SIGTERM},
+		{"usr1 after nothing else", []os.Signal{syscall.SIGUSR1}, 1, nil}, // channel closes
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sigs := make(chan os.Signal, len(tc.deliver))
+			for _, s := range tc.deliver {
+				sigs <- s
+			}
+			close(sigs)
+			dumps := 0
+			got := waitSignals(sigs, func() { dumps++ })
+			if got != tc.wantSig {
+				t.Fatalf("returned %v, want %v", got, tc.wantSig)
+			}
+			if dumps != tc.wantDumps {
+				t.Fatalf("dumped %d times, want %d", dumps, tc.wantDumps)
+			}
+		})
 	}
 }

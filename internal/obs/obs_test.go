@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilReceiversAreNoOps pins the off-switch contract: every record
+// and read primitive is safe on a nil receiver, so call sites never
+// guard instrumentation.
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var hd *HistData
+	hd.Observe(time.Second)
+	if hd.Snapshot() != (HistSnapshot{}) {
+		t.Fatal("nil HistData has a snapshot")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Snapshot() != (HistSnapshot{}) {
+		t.Fatal("nil Histogram has a snapshot")
+	}
+	var sp *Span
+	sp.Begin(time.Now())
+	sp.Mark(StageDecode, time.Now())
+	if sp.Total() != 0 || sp.Stage(StageDecode) != 0 {
+		t.Fatal("nil span recorded")
+	}
+	var ss *StageSet
+	ss.Record(&Span{})
+	if ss.Snapshot() != (StageSnapshot{}) {
+		t.Fatal("nil StageSet has a snapshot")
+	}
+	var r *TraceRing
+	r.Offer(Trace{Total: time.Second})
+	if r.Snapshot() != nil || r.Cap() != 0 {
+		t.Fatal("nil ring retained a trace")
+	}
+	var reg *Registry
+	if reg.Counter("x") != nil || reg.Gauge("x") != nil || reg.Histogram("x") != nil {
+		t.Fatal("nil registry returned a metric")
+	}
+	reg.GaugeFunc("x", func() int64 { return 1 })
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry has a snapshot")
+	}
+}
+
+// TestRegistryGetOrCreate pins identity semantics: the same name returns
+// the same metric, different names different ones, and Snapshot is
+// sorted by name with every kind present.
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("a_total")
+	c1.Add(7)
+	if c2 := reg.Counter("a_total"); c2 != c1 || c2.Value() != 7 {
+		t.Fatal("counter identity not preserved across lookups")
+	}
+	reg.Gauge("b_gauge").Set(-3)
+	reg.GaugeFunc("c_fn", func() int64 { return 42 })
+	reg.Histogram("d_hist").Observe(3 * time.Millisecond)
+
+	snap := reg.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d metrics, want 4", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	byName := map[string]Metric{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	if m := byName["a_total"]; m.Kind != KindCounter || m.Value != 7 {
+		t.Fatalf("a_total = %+v", m)
+	}
+	if m := byName["b_gauge"]; m.Kind != KindGauge || m.Value != -3 {
+		t.Fatalf("b_gauge = %+v", m)
+	}
+	if m := byName["c_fn"]; m.Kind != KindGauge || m.Value != 42 {
+		t.Fatalf("c_fn = %+v", m)
+	}
+	if m := byName["d_hist"]; m.Kind != KindHistogram || m.Hist.N != 1 {
+		t.Fatalf("d_hist = %+v", m)
+	}
+}
+
+// TestRegistryConcurrent hammers get-or-create from many goroutines
+// (race-detector coverage): all goroutines must land on the same metric
+// instances, and the final counter value must account for every Add.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("hits_total").Inc()
+				reg.Gauge("depth").Set(int64(i))
+				reg.Histogram("lat").Observe(time.Duration(i))
+				if w == 0 && i%100 == 0 {
+					reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("hits_total").Value(); got != workers*perWorker {
+		t.Fatalf("hits_total = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Histogram("lat").Snapshot().N; got != workers*perWorker {
+		t.Fatalf("lat histogram N = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestPromExposition pins the text format: TYPE headers deduplicated per
+// family, labeled series under one header, histogram buckets cumulative
+// in seconds with an exact +Inf count.
+func TestPromExposition(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter(`bpsf_pool_decoded_total{pool="a"}`, 10)
+	p.Counter(`bpsf_pool_decoded_total{pool="b"}`, 20)
+	p.Gauge("go_goroutines", 12)
+
+	var h HistData
+	h.Observe(0)
+	h.Observe(900 * time.Nanosecond) // bucket 10: [512,1024)
+	h.Observe(900 * time.Nanosecond)
+	h.Observe(time.Hour) // far bucket
+	p.Histogram(`bpsf_stage_seconds{stage="decode"}`, h.Snapshot())
+
+	out := sb.String()
+	wantLines := []string{
+		"# TYPE bpsf_pool_decoded_total counter",
+		`bpsf_pool_decoded_total{pool="a"} 10`,
+		`bpsf_pool_decoded_total{pool="b"} 20`,
+		"# TYPE go_goroutines gauge",
+		"go_goroutines 12",
+		"# TYPE bpsf_stage_seconds histogram",
+		`bpsf_stage_seconds_bucket{stage="decode",le="0"} 1`,
+		`bpsf_stage_seconds_bucket{stage="decode",le="1.023e-06"} 3`,
+		`bpsf_stage_seconds_bucket{stage="decode",le="+Inf"} 4`,
+		`bpsf_stage_seconds_count{stage="decode"} 4`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q\ngot:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE bpsf_pool_decoded_total") != 1 {
+		t.Errorf("TYPE header for labeled family not deduplicated:\n%s", out)
+	}
+}
+
+// TestRuntimeSnapshot sanity-checks the runtime section.
+func TestRuntimeSnapshot(t *testing.T) {
+	s := ReadRuntime()
+	if s.Goroutines < 1 || s.GoMaxProcs < 1 || s.NumCPU < 1 {
+		t.Fatalf("implausible runtime snapshot: %+v", s)
+	}
+	if s.HeapAlloc == 0 || s.TotalAlloc == 0 {
+		t.Fatalf("zero heap figures: %+v", s)
+	}
+	var sb strings.Builder
+	s.WritePrometheus(NewPromWriter(&sb), 3*time.Second)
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "process_uptime_seconds 3"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("runtime exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): plain functions writing
+// one metric family at a time, so callers can interleave registry
+// metrics with coherent snapshots taken elsewhere (the service writes
+// its pool and stage sections from one locked snapshot rather than from
+// racy registry atomics).
+
+// promBase splits a metric identity into the family name and the label
+// block ("x_total{pool=\"a\"}" → "x_total", "{pool=\"a\"}").
+func promBase(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// labelInsert merges an extra label pair into a (possibly empty) label
+// block.
+func labelInsert(labels, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// typeSeen tracks which families already emitted a # TYPE line, so
+// labeled series of one family share a single header.
+type typeSeen map[string]bool
+
+func (ts typeSeen) header(w io.Writer, base, kind string) {
+	if ts[base] {
+		return
+	}
+	ts[base] = true
+	fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+}
+
+// PromWriter emits Prometheus text format with per-family TYPE headers
+// deduplicated across calls.
+type PromWriter struct {
+	w    io.Writer
+	seen typeSeen
+}
+
+// NewPromWriter wraps w for exposition.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(typeSeen)}
+}
+
+// Counter writes one counter sample.
+func (p *PromWriter) Counter(name string, v uint64) {
+	base, labels := promBase(name)
+	p.seen.header(p.w, base, "counter")
+	fmt.Fprintf(p.w, "%s%s %d\n", base, labels, v)
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name string, v int64) {
+	base, labels := promBase(name)
+	p.seen.header(p.w, base, "gauge")
+	fmt.Fprintf(p.w, "%s%s %d\n", base, labels, v)
+}
+
+// GaugeFloat writes one floating-point gauge sample.
+func (p *PromWriter) GaugeFloat(name string, v float64) {
+	base, labels := promBase(name)
+	p.seen.header(p.w, base, "gauge")
+	fmt.Fprintf(p.w, "%s%s %g\n", base, labels, v)
+}
+
+// Histogram writes one histogram family from a snapshot: cumulative
+// power-of-two le buckets in seconds, then _sum and _count. Empty
+// buckets are skipped (the cumulative counts stay exact); the top
+// bucket renders as +Inf.
+func (p *PromWriter) Histogram(name string, s HistSnapshot) {
+	base, labels := promBase(name)
+	p.seen.header(p.w, base, "histogram")
+	var cum uint64
+	for b, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if b == NumBuckets-1 {
+			break // rendered by the +Inf bucket below
+		}
+		le := float64(BucketUpper(b)) / 1e9
+		fmt.Fprintf(p.w, "%s_bucket%s %d\n", base, labelInsert(labels, "le", fmt.Sprintf("%g", le)), cum)
+	}
+	fmt.Fprintf(p.w, "%s_bucket%s %d\n", base, labelInsert(labels, "le", "+Inf"), uint64(s.N))
+	fmt.Fprintf(p.w, "%s_sum%s %g\n", base, labels, s.Sum.Seconds())
+	fmt.Fprintf(p.w, "%s_count%s %d\n", base, labels, s.N)
+}
+
+// Registry writes every metric of reg (sorted by name).
+func (p *PromWriter) Registry(reg *Registry) {
+	for _, m := range reg.Snapshot() {
+		switch m.Kind {
+		case KindCounter:
+			p.Counter(m.Name, uint64(m.Value))
+		case KindGauge:
+			p.Gauge(m.Name, m.Value)
+		case KindHistogram:
+			p.Histogram(m.Name, m.Hist)
+		}
+	}
+}
+
+// WritePrometheus renders reg alone (the simple, no-extra-sections
+// case).
+func WritePrometheus(w io.Writer, reg *Registry) {
+	NewPromWriter(w).Registry(reg)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a named-metric store with get-or-create semantics: the
+// first Counter("x") creates the counter, later calls return the same
+// one, so instrumentation sites never coordinate registration. Metric
+// names follow the Prometheus convention and may carry a label block
+// (`bpsf_pool_decoded_total{pool="bb72/..."}`) — the full string is the
+// identity. All methods are safe for concurrent use and on a nil
+// receiver (returning nil metrics, whose methods are no-ops), which is
+// the off switch for optional instrumentation.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers fn as the named gauge's value source, evaluated at
+// snapshot time (runtime stats, queue depths read from elsewhere).
+// Re-registering a name replaces its function.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFuncs[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricKind tags a Metric's type in a Snapshot.
+type MetricKind uint8
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Metric is one registry entry in a Snapshot.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value int64        // counters (as int64) and gauges
+	Hist  HistSnapshot // histograms only
+}
+
+// Snapshot reads every metric, sorted by name (gauge functions are
+// evaluated outside the registry lock so a slow source cannot block
+// instrumentation sites).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: int64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	type fn struct {
+		name string
+		f    func() int64
+	}
+	fns := make([]fn, 0, len(r.gaugeFuncs))
+	for name, f := range r.gaugeFuncs {
+		fns = append(fns, fn{name, f})
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for _, f := range fns {
+		out = append(out, Metric{Name: f.name, Kind: KindGauge, Value: f.f()})
+	}
+	for name, h := range hists {
+		out = append(out, Metric{Name: name, Kind: KindHistogram, Hist: h.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

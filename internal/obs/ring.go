@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one slow request's stage breakdown retained by the ring.
+type Trace struct {
+	// End is the wall-clock completion time (UnixNano).
+	End int64
+	// Total is the request's full residence time.
+	Total time.Duration
+	// Stages are the per-stage durations (Span slot order).
+	Stages [NumStages]time.Duration
+}
+
+// traceWords is the flattened atomic word count of one Trace.
+const traceWords = 2 + int(NumStages)
+
+func (t *Trace) words() [traceWords]int64 {
+	var w [traceWords]int64
+	w[0] = t.End
+	w[1] = int64(t.Total)
+	for i, d := range t.Stages {
+		w[2+i] = int64(d)
+	}
+	return w
+}
+
+func traceFromWords(w [traceWords]int64) Trace {
+	t := Trace{End: w[0], Total: time.Duration(w[1])}
+	for i := range t.Stages {
+		t.Stages[i] = time.Duration(w[2+i])
+	}
+	return t
+}
+
+// traceSlot is one seqlock-guarded ring entry. All accesses are atomic,
+// so the ring is race-detector clean without any mutex: the sequence
+// number is odd while a writer owns the slot, and a reader discards a
+// slot whose sequence changed (or was odd) across its read.
+type traceSlot struct {
+	seq   atomic.Uint64
+	words [traceWords]atomic.Int64
+}
+
+// TraceRing retains the slowest-N request traces seen so far, lock-free:
+// the steady-state fast path is a single atomic load (a request faster
+// than the slowest retained trace is rejected immediately), and slow
+// inserts claim per-slot seqlocks with CAS — a writer that loses a slot
+// race skips rather than blocks, so the slowest-N property is best-effort
+// under write contention but every retained trace is internally
+// consistent. The zero value is unusable; create with NewTraceRing.
+// Methods are safe on a nil receiver.
+type TraceRing struct {
+	slots []traceSlot
+	// floor caches the smallest retained total once the ring is full; a
+	// request at or below it cannot displace anything. It trails the true
+	// minimum only transiently (writers refresh it after every insert).
+	floor atomic.Int64
+	fill  atomic.Int64
+}
+
+// NewTraceRing builds a ring retaining the slowest n traces (n ≥ 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{slots: make([]traceSlot, n)}
+}
+
+// Cap returns the ring's retention capacity.
+func (r *TraceRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Offer proposes one trace. Zero-alloc; the common fast path (trace is
+// faster than everything retained) is one atomic load.
+func (r *TraceRing) Offer(t Trace) {
+	if r == nil {
+		return
+	}
+	if r.fill.Load() >= int64(len(r.slots)) && int64(t.Total) <= r.floor.Load() {
+		return
+	}
+	// Slow path: find the victim — an empty slot, or the current minimum.
+	victim, minTotal := -1, int64(-1)
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 { // never written
+			victim, minTotal = i, 0
+			break
+		}
+		if seq&1 != 0 {
+			continue // writer owns it; skip
+		}
+		total := s.words[1].Load()
+		if minTotal < 0 || total < minTotal {
+			victim, minTotal = i, total
+		}
+	}
+	if victim < 0 || (minTotal > 0 && int64(t.Total) <= minTotal && r.fill.Load() >= int64(len(r.slots))) {
+		return
+	}
+	s := &r.slots[victim]
+	seq := s.seq.Load()
+	if seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq+1) {
+		return // lost the slot race; best-effort, don't spin
+	}
+	first := seq == 0
+	w := t.words()
+	for i := range w {
+		s.words[i].Store(w[i])
+	}
+	s.seq.Store(seq + 2)
+	if first {
+		r.fill.Add(1)
+	}
+	// Refresh the fast-path floor with the post-insert minimum.
+	if r.fill.Load() >= int64(len(r.slots)) {
+		min := int64(-1)
+		for i := range r.slots {
+			if r.slots[i].seq.Load()&1 != 0 {
+				continue
+			}
+			total := r.slots[i].words[1].Load()
+			if min < 0 || total < min {
+				min = total
+			}
+		}
+		if min >= 0 {
+			r.floor.Store(min)
+		}
+	}
+}
+
+// Snapshot returns the retained traces, slowest first. Torn slots (a
+// writer mid-flight) are skipped.
+func (r *TraceRing) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	var out []Trace
+	for i := range r.slots {
+		s := &r.slots[i]
+		for try := 0; try < 3; try++ {
+			seq := s.seq.Load()
+			if seq == 0 || seq&1 != 0 {
+				break
+			}
+			var w [traceWords]int64
+			for j := range w {
+				w[j] = s.words[j].Load()
+			}
+			if s.seq.Load() == seq {
+				out = append(out, traceFromWords(w))
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceRingKeepsSlowest pins the single-writer semantics: after
+// offering totals 1..100ms into an 8-slot ring, the snapshot holds
+// exactly 93..100ms, slowest first.
+func TestTraceRingKeepsSlowest(t *testing.T) {
+	r := NewTraceRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 1; i <= 100; i++ {
+		tr := Trace{End: int64(i), Total: time.Duration(i) * time.Millisecond}
+		tr.Stages[StageDecode] = tr.Total
+		r.Offer(tr)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("retained %d traces, want 8", len(snap))
+	}
+	for i, tr := range snap {
+		want := time.Duration(100-i) * time.Millisecond
+		if tr.Total != want {
+			t.Errorf("slot %d total %v, want %v (slowest first)", i, tr.Total, want)
+		}
+		if tr.Stages[StageDecode] != tr.Total || tr.End != int64(tr.Total/time.Millisecond) {
+			t.Errorf("slot %d trace fields inconsistent: %+v", i, tr)
+		}
+	}
+	// ascending order must retain the same set
+	r2 := NewTraceRing(4)
+	for i := 100; i >= 1; i-- {
+		r2.Offer(Trace{Total: time.Duration(i) * time.Millisecond})
+	}
+	snap2 := r2.Snapshot()
+	if len(snap2) != 4 || snap2[0].Total != 100*time.Millisecond || snap2[3].Total != 97*time.Millisecond {
+		t.Fatalf("descending offers retained %+v", snap2)
+	}
+}
+
+// TestTraceRingPartialFill pins behavior below capacity: everything
+// offered is retained.
+func TestTraceRingPartialFill(t *testing.T) {
+	r := NewTraceRing(16)
+	for i := 1; i <= 5; i++ {
+		r.Offer(Trace{Total: time.Duration(i)})
+	}
+	if snap := r.Snapshot(); len(snap) != 5 {
+		t.Fatalf("retained %d, want 5", len(snap))
+	}
+}
+
+// TestTraceRingConcurrent is the race-detector hammer: concurrent
+// writers offering mixed totals while readers snapshot. Every retained
+// trace must be internally consistent — the seqlock forbids torn reads,
+// so a trace's End field always matches its Total (writers encode
+// Total into End) — and the ring must end up holding only slow traces.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(8)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				total := time.Duration((i*writers+w)%1000+1) * time.Microsecond
+				r.Offer(Trace{End: int64(total), Total: total,
+					Stages: [NumStages]time.Duration{StageDecode: total}})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tr := range r.Snapshot() {
+				if tr.End != int64(tr.Total) || tr.Stages[StageDecode] != tr.Total {
+					t.Errorf("torn trace: %+v", tr)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	snap := r.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("ring empty after hammer")
+	}
+	for _, tr := range snap {
+		if tr.End != int64(tr.Total) {
+			t.Errorf("torn trace survived: %+v", tr)
+		}
+		// best-effort slowest-N: everything retained should be in the top
+		// half of the offered distribution (1..1000µs)
+		if tr.Total < 500*time.Microsecond {
+			t.Errorf("fast trace %v retained after full hammer (slowest-N is too lossy)", tr.Total)
+		}
+	}
+}

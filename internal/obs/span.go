@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage is one fixed slot of a request's life inside the service:
+//
+//	admit    frame read complete → request enqueued (parse, unpack)
+//	queue    enqueued → claimed by a pool worker
+//	coalesce claimed → this request's decode begins (batch-sibling wait)
+//	decode   the decoder call itself
+//	write    decode done → reply frame flushed to the socket
+//
+// The five stages tile a request's residence time exactly:
+// Σ stages == Span.Total. Streams reuse the decode/write slots for their
+// per-commit timings (DESIGN.md §10).
+type Stage int
+
+const (
+	StageAdmit Stage = iota
+	StageQueue
+	StageCoalesce
+	StageDecode
+	StageWrite
+	NumStages
+)
+
+var stageNames = [NumStages]string{"admit", "queue", "coalesce", "decode", "write"}
+
+// String returns the stage's metric label ("admit", "queue", ...).
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// StageNames returns the stage labels in slot order.
+func StageNames() [NumStages]string { return stageNames }
+
+// Span is a zero-alloc per-request stage timer: Begin pins the start,
+// each Mark closes the named stage at t (stage duration = time since the
+// previous mark), so marks must arrive in stage order but may skip
+// stages. A Span is a plain value — embed it in a request or a
+// batch-parallel slice; no allocation, no lock (one goroutine owns it at
+// any moment, handed off with the request). Methods are safe on a nil
+// receiver so uninstrumented paths can carry a nil *Span.
+type Span struct {
+	start  time.Time
+	last   time.Time
+	stages [NumStages]time.Duration
+}
+
+// Begin starts the span at t.
+func (s *Span) Begin(t time.Time) {
+	if s == nil {
+		return
+	}
+	s.start, s.last = t, t
+	s.stages = [NumStages]time.Duration{}
+}
+
+// Mark closes stage st at t: the stage accumulates the time since the
+// previous mark (or Begin).
+func (s *Span) Mark(st Stage, t time.Time) {
+	if s == nil {
+		return
+	}
+	s.stages[st] += t.Sub(s.last)
+	s.last = t
+}
+
+// Stage returns the accumulated duration of st.
+func (s *Span) Stage(st Stage) time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.stages[st]
+}
+
+// Total returns Begin → last mark; by construction it equals the sum of
+// the stage durations.
+func (s *Span) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.last.Sub(s.start)
+}
+
+// End returns the wall-clock time of the last mark.
+func (s *Span) End() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.last
+}
+
+// StageSet is the per-stage histogram bank spans are recorded into: one
+// power-of-two histogram per stage plus a total-latency histogram, all
+// updated and snapshotted under one mutex so a snapshot is coherent
+// (every stage histogram holds exactly the same request population).
+// The zero value is ready; methods are safe on a nil receiver.
+type StageSet struct {
+	mu    sync.Mutex
+	h     [NumStages]HistData
+	total HistData
+}
+
+// Record folds one finished span into the set. Stages the span never
+// marked record as zero-duration observations, keeping every stage
+// histogram's count equal to the recorded request count.
+func (s *StageSet) Record(sp *Span) {
+	if s == nil || sp == nil {
+		return
+	}
+	s.mu.Lock()
+	for st := Stage(0); st < NumStages; st++ {
+		s.h[st].Observe(sp.stages[st])
+	}
+	s.total.Observe(sp.Total())
+	s.mu.Unlock()
+}
+
+// StageSnapshot is one coherent read of a StageSet.
+type StageSnapshot struct {
+	Stages [NumStages]HistSnapshot
+	Total  HistSnapshot
+}
+
+// Snapshot reads every stage histogram under one lock.
+func (s *StageSet) Snapshot() StageSnapshot {
+	if s == nil {
+		return StageSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out StageSnapshot
+	for st := Stage(0); st < NumStages; st++ {
+		out.Stages[st] = s.h[st].Snapshot()
+	}
+	out.Total = s.total.Snapshot()
+	return out
+}

@@ -29,9 +29,10 @@ type Client struct {
 
 	sendMu sync.Mutex // serializes frame writes
 
-	mu      sync.Mutex // guards pending/opens/streams/nextID/err
+	mu      sync.Mutex // guards pending/opens/statsQ/streams/nextID/err
 	pending map[uint64]*Pending
-	opens   []*pendingOpen // StreamOpens awaiting ack, in send order
+	opens   []*pendingOpen  // StreamOpens awaiting ack, in send order
+	statsQ  []*pendingStats // Stats requests awaiting reply, in send order
 	streams map[uint64]*ClientStream
 	nextID  uint64
 	err     error
@@ -207,6 +208,46 @@ func (c *Client) SubmitSample(count int) (*Pending, error) {
 	return c.send(func(id uint64) []byte { return appendSample(nil, id, count) })
 }
 
+// pendingStats is one in-flight Stats request. Stats requests carry no
+// correlation id on the wire; the server answers them inline in frame
+// order, so a FIFO (like stream opens) pairs replies with waiters.
+type pendingStats struct {
+	done chan struct{}
+	snap ServerSnapshot
+	err  error
+}
+
+// Stats pulls a server telemetry snapshot in-protocol: pools, streams,
+// stage histograms, slowest traces and runtime health (DESIGN.md §10).
+// Because the request rides the session's frame stream, the reply
+// reflects every batch the session had flushed before calling — which is
+// what lets a load generator reconcile its own request count against the
+// server's stage histograms exactly.
+func (c *Client) Stats() (ServerSnapshot, error) {
+	ps := &pendingStats{done: make(chan struct{})}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return ServerSnapshot{}, err
+	}
+	c.statsQ = append(c.statsQ, ps)
+	c.mu.Unlock()
+
+	c.sendMu.Lock()
+	err := writeFrame(c.bw, appendStatsRequest(nil))
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return ServerSnapshot{}, err
+	}
+	<-ps.done
+	return ps.snap, ps.err
+}
+
 // Decode is the synchronous round trip: Submit + Wait.
 func (c *Client) Decode(syndromes []gf2.Vec) ([]Response, error) {
 	p, err := c.Submit(syndromes)
@@ -303,6 +344,23 @@ func (c *Client) recvLoop() {
 			if m.flags&flagStreamFinal != 0 {
 				close(st.commits)
 			}
+		case msgStatsReply:
+			snap, err := parseStatsReply(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			if len(c.statsQ) == 0 {
+				c.mu.Unlock()
+				c.fail(fmt.Errorf("service: unsolicited stats reply"))
+				return
+			}
+			ps := c.statsQ[0]
+			c.statsQ = c.statsQ[1:]
+			c.mu.Unlock()
+			ps.snap = snap
+			close(ps.done)
 		case msgError:
 			c.fail(fmt.Errorf("service: server error: %s", parseErrorBody(payload)))
 			return
@@ -331,6 +389,11 @@ func (c *Client) fail(err error) {
 		close(po.done)
 	}
 	c.opens = nil
+	for _, ps := range c.statsQ {
+		ps.err = c.err
+		close(ps.done)
+	}
+	c.statsQ = nil
 	for id := range c.streams {
 		delete(c.streams, id)
 	}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"bpsf/internal/obs"
 )
 
 // FuzzFrameRoundTrip fuzzes the length-prefixed wire layer and every
@@ -27,6 +29,19 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(appendStreamCommit(nil, streamCommitMsg{id: 9, window: 0, flags: flagStreamWindowOK,
 		firstRound: 0, endRound: 1, latency: time.Millisecond, mechs: []byte{0xAB}}), uint8(1))
 	f.Add(appendSample(nil, 12, 64), uint8(5))
+	f.Add(appendStatsRequest(nil), uint8(0))
+	var statsHist histogram
+	statsHist.Observe(time.Millisecond)
+	statsHist.Observe(3 * time.Millisecond)
+	f.Add(appendStatsReply(nil, ServerSnapshot{
+		Uptime:        time.Minute,
+		SessionsTotal: 2, SessionsActive: 1,
+		Pools: []PoolStats{{Pool: "bb72/r2/p0.02/bpsf", Size: 2,
+			Admitted: 2, Decoded: 2, Batches: 1, Coalesced: 2,
+			Latency: statsHist.Snapshot()}},
+		Streams: StreamStats{Opened: 1, Windows: 2, Latency: statsHist.Snapshot()},
+		Traces:  []obs.Trace{{End: 99, Total: time.Millisecond}},
+	}), uint8(7))
 	f.Add([]byte{}, uint8(0))
 	f.Add([]byte{msgBatch, 0xff}, uint8(255))
 	f.Fuzz(func(t *testing.T, payload []byte, widthSeed uint8) {
@@ -43,6 +58,8 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		parseStreamAck(payload)
 		parseStreamRounds(payload, []int{width, 8 * width, 1})
 		parseStreamCommit(payload, width)
+		parseStatsRequest(payload)
+		parseStatsReply(payload)
 
 		// 2. Frame layer round-trip: decode(encode(x)) == x.
 		if len(payload) > 0 && len(payload) <= defaultMaxFrame {
@@ -95,6 +112,20 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 			if id2 != id || count2 != count {
 				t.Fatalf("sample round-trip: (%d,%d) != (%d,%d)", id2, count2, id, count)
+			}
+		}
+
+		// 4c. Stats-reply round-trip when the payload parses: the sparse
+		// histogram encoding is canonical (strictly increasing nonzero
+		// buckets summing to N, derived fields recomputed), so re-encoding
+		// a parsed snapshot must reproduce the payload byte for byte.
+		if snap, err := parseStatsReply(payload); err == nil {
+			enc := appendStatsReply(nil, snap)
+			if !bytes.Equal(enc, payload) {
+				t.Fatalf("stats reply re-encode diverges:\n got %x\nwant %x", enc, payload)
+			}
+			if _, err := parseStatsReply(enc); err != nil {
+				t.Fatalf("re-parse encoded stats reply: %v", err)
 			}
 		}
 

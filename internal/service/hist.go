@@ -1,94 +1,17 @@
 package service
 
-import (
-	"math/bits"
-	"sync"
-	"time"
+import "bpsf/internal/obs"
+
+// The power-of-two latency histogram grew up here and was promoted to
+// internal/obs (PR 7) so Prometheus exposition, the wire msgStats frame
+// and bpsf-bench share one snapshot-consistent type with exported bucket
+// counts. The aliases keep the service API — PoolStats.Latency,
+// StreamStats.Latency — and the call sites unchanged.
+type (
+	histogram = obs.Histogram
+
+	// HistogramSnapshot is a point-in-time read of one latency histogram
+	// (now obs.HistSnapshot: quantiles are power-of-two upper bounds, and
+	// Buckets carries the raw counts).
+	HistogramSnapshot = obs.HistSnapshot
 )
-
-// histogram accumulates service latencies in power-of-two nanosecond
-// buckets: constant memory at any traffic volume, quantiles accurate to a
-// factor of two (a bucket's upper bound is reported). Exact min/max/mean
-// are tracked alongside.
-type histogram struct {
-	mu     sync.Mutex
-	counts [64]uint64
-	n      uint64
-	sum    time.Duration
-	min    time.Duration
-	max    time.Duration
-}
-
-// HistogramSnapshot is a point-in-time read of one pool's latency
-// histogram. Percentiles are upper bounds of their power-of-two bucket.
-type HistogramSnapshot struct {
-	N                   int
-	Min, Max, Avg       time.Duration
-	P50, P95, P99, P999 time.Duration
-}
-
-func bucketOf(d time.Duration) int {
-	ns := uint64(d)
-	if d < 0 {
-		ns = 0
-	}
-	b := bits.Len64(ns) // 0 for 0ns, k for [2^(k-1), 2^k)
-	if b > 62 {
-		b = 62 // keep 1<<b representable as a Duration
-	}
-	return b
-}
-
-func (h *histogram) observe(d time.Duration) {
-	h.mu.Lock()
-	h.counts[bucketOf(d)]++
-	h.n++
-	h.sum += d
-	if h.n == 1 || d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
-	}
-	h.mu.Unlock()
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
-		return HistogramSnapshot{}
-	}
-	s := HistogramSnapshot{
-		N:   int(h.n),
-		Min: h.min,
-		Max: h.max,
-		Avg: h.sum / time.Duration(h.n),
-	}
-	quantile := func(q float64) time.Duration {
-		rank := uint64(q * float64(h.n-1))
-		var cum uint64
-		for b, c := range h.counts {
-			cum += c
-			if cum > rank {
-				if b == 0 {
-					return 0
-				}
-				upper := time.Duration(uint64(1) << uint(b))
-				if b == 62 || upper > h.max {
-					// bucket 62 is open-ended (bucketOf clamps everything
-					// ≥ 2⁶²ns into it), so 1<<62 may undershoot the samples
-					// it holds; the observed maximum is the honest bound
-					upper = h.max
-				}
-				return upper
-			}
-		}
-		return h.max
-	}
-	s.P50 = quantile(0.5)
-	s.P95 = quantile(0.95)
-	s.P99 = quantile(0.99)
-	s.P999 = quantile(0.999)
-	return s
-}

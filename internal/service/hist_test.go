@@ -19,9 +19,9 @@ func checkAgainstSummarize(t *testing.T, name string, ds []time.Duration) {
 	t.Helper()
 	var h histogram
 	for _, d := range ds {
-		h.observe(d)
+		h.Observe(d)
 	}
-	snap := h.snapshot()
+	snap := h.Snapshot()
 	exact := sim.Summarize(append([]time.Duration(nil), ds...)) // Summarize sorts in place
 
 	if snap.N != exact.N || snap.Min != exact.Min || snap.Max != exact.Max || snap.Avg != exact.Avg {
@@ -99,9 +99,9 @@ func TestHistogramClampUpperBound(t *testing.T) {
 	var h histogram
 	d := time.Duration(1<<62 + 5000)
 	for i := 0; i < 10; i++ {
-		h.observe(d)
+		h.Observe(d)
 	}
-	snap := h.snapshot()
+	snap := h.Snapshot()
 	if snap.P99 < d {
 		t.Errorf("P99 = %v undershoots every observed sample %v", snap.P99, d)
 	}

@@ -2,11 +2,11 @@ package service
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"bpsf/internal/dem"
 	"bpsf/internal/gf2"
+	"bpsf/internal/obs"
 	"bpsf/internal/sim"
 )
 
@@ -15,6 +15,9 @@ import (
 // batch's completion barrier. Server-sampled requests additionally carry
 // the sampled ground truth (wantObs, packed observable flips), which the
 // worker compares against the decoder's prediction to report Failed.
+// span, when non-nil, points into the batch job's span slice and accrues
+// the request's stage timings (admit/queue/coalesce/decode marked along
+// the pool path, write marked by the session's reply writer).
 type request struct {
 	syndrome gf2.Vec
 	seed     int64
@@ -22,6 +25,7 @@ type request struct {
 	deadline time.Duration
 	wantObs  []byte // nil for client-supplied syndromes
 	resp     *Response
+	span     *obs.Span
 	wg       *sync.WaitGroup
 }
 
@@ -41,6 +45,12 @@ type poolOptions struct {
 // a deep queue is drained in large sweeps (amortizing queue handoffs and
 // letting expired requests shed in bulk) while an idle service decodes
 // singles at minimum latency.
+//
+// Every statistic lives behind one mutex (counters AND the latency
+// histogram), so a stats() snapshot is coherent: it can never show more
+// completions than admissions, and Latency.N always equals Decoded. The
+// pre-PR7 pool mixed atomics with the histogram's private lock, so
+// concurrent snapshots could tear across the two.
 type pool struct {
 	key  string
 	dem  *dem.DEM
@@ -50,25 +60,42 @@ type pool struct {
 	workers sync.WaitGroup
 	closed  sync.Once
 
-	lat          histogram
-	decoded      atomic.Uint64
-	shedQueue    atomic.Uint64
-	shedDeadline atomic.Uint64
-	batches      atomic.Uint64
-	coalesced    atomic.Uint64
+	mu sync.Mutex
+	st poolCounters
 }
 
-// PoolStats is one pool's cumulative service report.
+// poolCounters is the mutex-guarded statistics block of one pool.
+type poolCounters struct {
+	admitted     uint64
+	decoded      uint64
+	shedQueue    uint64
+	shedDeadline uint64
+	batches      uint64
+	coalesced    uint64
+	busy         time.Duration // summed worker batch-serve time
+	lat          obs.HistData
+}
+
+// PoolStats is one pool's cumulative service report, read as one
+// coherent snapshot: Decoded + ShedQueue + ShedDeadline never exceeds
+// Admitted, and Latency.N == Decoded.
 type PoolStats struct {
 	// Pool is the pool key: code/rounds/p/spec.
 	Pool string
 	// Size is the number of warm decoders.
 	Size int
-	// Decoded counts completed decodes; ShedQueue and ShedDeadline count
-	// requests dropped on admission overflow and on queue-deadline expiry.
-	Decoded, ShedQueue, ShedDeadline uint64
-	// AvgBatch is the mean coalesced batch size claimed by workers.
-	AvgBatch float64
+	// Admitted counts requests offered to the pool (admitted to the queue
+	// or shed at admission). Decoded counts completed decodes; ShedQueue
+	// and ShedDeadline count requests dropped on admission overflow and on
+	// queue-deadline expiry.
+	Admitted, Decoded, ShedQueue, ShedDeadline uint64
+	// Batches and Coalesced count worker batch claims and the requests
+	// they covered; AvgBatch is their ratio.
+	Batches, Coalesced uint64
+	AvgBatch           float64
+	// Busy is the summed wall-clock time workers spent serving batches;
+	// utilization = Busy / (Size × uptime).
+	Busy time.Duration
 	// Latency is the service-time histogram (queue wait + decode).
 	Latency HistogramSnapshot
 }
@@ -103,12 +130,17 @@ func newPool(key string, d *dem.DEM, mk func() (sim.Decoder, error), opts poolOp
 // ultimately its TCP stream); sessions with a deadline are admitted
 // non-blocking and shed immediately when the queue is full.
 func (p *pool) submit(r *request) {
+	p.mu.Lock()
+	p.st.admitted++
+	p.mu.Unlock()
 	if r.deadline > 0 {
 		select {
 		case p.queue <- r:
 		default:
 			r.resp.Shed = true
-			p.shedQueue.Add(1)
+			p.mu.Lock()
+			p.st.shedQueue++
+			p.mu.Unlock()
 			r.wg.Done()
 		}
 		return
@@ -129,11 +161,20 @@ func (p *pool) worker(dec sim.Decoder) {
 	obsWant := gf2.NewVec(numObs)
 	for first := range p.queue {
 		batch = p.coalesce(batch[:0], first)
-		p.batches.Add(1)
-		p.coalesced.Add(uint64(len(batch)))
+		claimT := time.Now()
+		for _, r := range batch {
+			// queue stage ends for the whole claim at once; the wait behind
+			// earlier batch siblings lands in the coalesce stage
+			r.span.Mark(obs.StageQueue, claimT)
+		}
 		for _, r := range batch {
 			p.serve(dec, r, obsHat, obsWant)
 		}
+		p.mu.Lock()
+		p.st.batches++
+		p.st.coalesced += uint64(len(batch))
+		p.st.busy += time.Since(claimT)
+		p.mu.Unlock()
 	}
 }
 
@@ -165,12 +206,15 @@ func (p *pool) serve(dec sim.Decoder, r *request, obsHat, obsWant gf2.Vec) {
 	wait := time.Since(r.enqueued)
 	if r.deadline > 0 && wait > r.deadline {
 		r.resp.Shed = true
-		p.shedDeadline.Add(1)
+		p.mu.Lock()
+		p.st.shedDeadline++
+		p.mu.Unlock()
 		r.wg.Done()
 		return
 	}
 	sim.Reseed(dec, r.seed)
 	t0 := time.Now()
+	r.span.Mark(obs.StageCoalesce, t0)
 	out := dec.Decode(r.syndrome)
 	r.resp.Success = out.Success
 	r.resp.Iterations = out.Iterations
@@ -183,9 +227,13 @@ func (p *pool) serve(dec sim.Decoder, r *request, obsHat, obsWant gf2.Vec) {
 		_ = obsWant.SetBytes(r.wantObs) // length fixed by the session DEM
 		r.resp.Failed = sim.LogicalFailed(p.dem.Obs, out, obsWant, obsHat)
 	}
-	r.resp.Latency = wait + time.Since(t0)
-	p.lat.observe(r.resp.Latency)
-	p.decoded.Add(1)
+	t1 := time.Now()
+	r.span.Mark(obs.StageDecode, t1)
+	r.resp.Latency = wait + t1.Sub(t0)
+	p.mu.Lock()
+	p.st.decoded++
+	p.st.lat.Observe(r.resp.Latency)
+	p.mu.Unlock()
 	r.wg.Done()
 }
 
@@ -197,17 +245,25 @@ func (p *pool) close() {
 	p.workers.Wait()
 }
 
+// stats takes one coherent snapshot under the pool's single statistics
+// mutex.
 func (p *pool) stats() PoolStats {
+	p.mu.Lock()
 	st := PoolStats{
 		Pool:         p.key,
 		Size:         p.opts.size,
-		Decoded:      p.decoded.Load(),
-		ShedQueue:    p.shedQueue.Load(),
-		ShedDeadline: p.shedDeadline.Load(),
-		Latency:      p.lat.snapshot(),
+		Admitted:     p.st.admitted,
+		Decoded:      p.st.decoded,
+		ShedQueue:    p.st.shedQueue,
+		ShedDeadline: p.st.shedDeadline,
+		Batches:      p.st.batches,
+		Coalesced:    p.st.coalesced,
+		Busy:         p.st.busy,
+		Latency:      p.st.lat.Snapshot(),
 	}
-	if b := p.batches.Load(); b > 0 {
-		st.AvgBatch = float64(p.coalesced.Load()) / float64(b)
+	p.mu.Unlock()
+	if st.Batches > 0 {
+		st.AvgBatch = float64(st.Coalesced) / float64(st.Batches)
 	}
 	return st
 }

@@ -44,6 +44,13 @@ const (
 	// additionally carry the Failed flag (the server knows the sampled
 	// observable flips, so it can report logical failures).
 	msgSample = 10
+	// msgStats pulls a server telemetry snapshot in-protocol (DESIGN.md
+	// §10): pools, streams, stage histograms, runtime. The reply is one
+	// msgStatsReply frame carrying the encoded ServerSnapshot, answered
+	// inline by the session read loop (so it observes every batch the
+	// session flushed before asking).
+	msgStats      = 11
+	msgStatsReply = 12
 
 	// Response flags.
 	flagSuccess = 1 << 0

@@ -174,17 +174,17 @@ func TestSpecValidateAndLabel(t *testing.T) {
 
 func TestHistogramQuantiles(t *testing.T) {
 	var h histogram
-	if (h.snapshot() != HistogramSnapshot{}) {
+	if (h.Snapshot() != HistogramSnapshot{}) {
 		t.Fatal("empty snapshot not zero")
 	}
 	// 90 fast + 10 slow observations: p50 within 2× of fast, p999 at the tail
 	for i := 0; i < 90; i++ {
-		h.observe(100 * time.Microsecond)
+		h.Observe(100 * time.Microsecond)
 	}
 	for i := 0; i < 10; i++ {
-		h.observe(50 * time.Millisecond)
+		h.Observe(50 * time.Millisecond)
 	}
-	s := h.snapshot()
+	s := h.Snapshot()
 	if s.N != 100 || s.Min != 100*time.Microsecond || s.Max != 50*time.Millisecond {
 		t.Fatalf("bounds wrong: %+v", s)
 	}

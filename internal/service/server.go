@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"bpsf/internal/frame"
 	"bpsf/internal/gf2"
 	"bpsf/internal/memexp"
+	"bpsf/internal/obs"
 	"bpsf/internal/sim"
 )
 
@@ -41,6 +44,9 @@ type Options struct {
 	// the bpsf-serve -window/-commit flags).
 	StreamWindow int
 	StreamCommit int
+	// TraceSlots is the retention capacity of the slowest-request trace
+	// ring served on /statusz (default 32).
+	TraceSlots int
 	// Logf receives serve-loop diagnostics (nil = silent).
 	Logf func(format string, args ...interface{})
 }
@@ -81,6 +87,9 @@ func (o Options) withDefaults() Options {
 	if o.StreamCommit <= 0 {
 		o.StreamCommit = 1
 	}
+	if o.TraceSlots <= 0 {
+		o.TraceSlots = 32
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...interface{}) {}
 	}
@@ -104,7 +113,8 @@ type poolEntry struct {
 // Server is the streaming decode service. Create with NewServer, start
 // with Listen, stop with Drain.
 type Server struct {
-	opts Options
+	opts  Options
+	start time.Time
 
 	ln          net.Listener
 	pools       sync.Map // pool key → *poolEntry
@@ -118,15 +128,39 @@ type Server struct {
 	windowsDecoded atomic.Uint64
 	streamLat      histogram
 
+	// Observability plane (DESIGN.md §10): the registry carries the
+	// server-level counters and gauges, stages the per-request stage
+	// histograms (admit/queue/coalesce/decode/write), streamStages the
+	// per-commit decode/write timings, and traces the slowest-request
+	// ring served on /statusz.
+	reg          *obs.Registry
+	stages       obs.StageSet
+	streamStages obs.StageSet
+	traces       *obs.TraceRing
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	adminMu sync.Mutex
+	admin   *http.Server
 }
 
 // NewServer builds a server; pools are created lazily on the first Hello
 // naming them.
 func NewServer(opts Options) *Server {
-	return &Server{opts: opts.withDefaults(), conns: make(map[net.Conn]struct{})}
+	opts = opts.withDefaults()
+	return &Server{
+		opts:   opts,
+		start:  time.Now(),
+		conns:  make(map[net.Conn]struct{}),
+		reg:    obs.NewRegistry(),
+		traces: obs.NewTraceRing(opts.TraceSlots),
+	}
 }
+
+// Metrics returns the server's registry (session counters and any
+// gauges callers want to co-expose on the admin plane).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Listen binds addr ("host:port"; port 0 picks a free port, see Addr) and
 // starts accepting sessions in the background.
@@ -166,8 +200,9 @@ func (s *Server) acceptLoop() {
 
 // Drain is the graceful shutdown: stop accepting, wait up to grace for
 // live sessions to finish, force-close stragglers, then stop every pool —
-// pool workers complete all admitted work before exiting. Returns the
-// final per-pool stats.
+// pool workers complete all admitted work before exiting. The admin
+// listener (ServeAdmin), when present, closes too. Returns the final
+// per-pool stats.
 func (s *Server) Drain(grace time.Duration) []PoolStats {
 	if s.draining.CompareAndSwap(false, true) {
 		if s.ln != nil {
@@ -191,6 +226,7 @@ func (s *Server) Drain(grace time.Duration) []PoolStats {
 			}
 			return true
 		})
+		s.closeAdmin()
 	}
 	return s.Stats()
 }
@@ -215,11 +251,11 @@ func (s *Server) StreamingStats() StreamStats {
 	return StreamStats{
 		Opened:  s.streamsOpened.Load(),
 		Windows: s.windowsDecoded.Load(),
-		Latency: s.streamLat.snapshot(),
+		Latency: s.streamLat.Snapshot(),
 	}
 }
 
-// Stats snapshots every pool.
+// Stats snapshots every pool, sorted by pool key so output is stable.
 func (s *Server) Stats() []PoolStats {
 	var out []PoolStats
 	s.pools.Range(func(_, v interface{}) bool {
@@ -228,6 +264,7 @@ func (s *Server) Stats() []PoolStats {
 		}
 		return true
 	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pool < out[j].Pool })
 	return out
 }
 
@@ -305,16 +342,27 @@ func validateHello(h Hello) (Hello, error) {
 }
 
 // batchJob is one batch's in-flight state: the responses under fill by
-// pool workers and the barrier the reply writer waits on.
+// pool workers, the per-request stage spans (recorded by the reply
+// writer once the reply frame is flushed) and the barrier the reply
+// writer waits on. A job with stats set is a telemetry barrier instead:
+// the writer answers it with a fresh ServerSnapshot, so the snapshot
+// provably includes every batch the session submitted before the stats
+// request — the reconciliation guarantee Client.Stats documents.
 type batchJob struct {
 	id    uint64
 	wg    sync.WaitGroup
 	resps []Response
+	spans []obs.Span
+	stats bool
 }
 
 func (s *Server) session(conn net.Conn) {
 	defer s.sessions.Done()
+	sessionsActive := s.reg.Gauge("bpsf_sessions_active")
+	s.reg.Counter("bpsf_sessions_total").Inc()
+	sessionsActive.Add(1)
 	defer func() {
+		sessionsActive.Add(-1)
 		conn.Close()
 		s.connMu.Lock()
 		delete(s.conns, conn)
@@ -377,7 +425,10 @@ func (s *Server) session(conn net.Conn) {
 	// Reply writer: batches complete out of order across pool workers, but
 	// replies go back in submission order — the channel is the order, the
 	// WaitGroup the completion barrier. Its capacity bounds the session's
-	// pipelining.
+	// pipelining. Once a reply frame is flushed, the writer closes each
+	// request's write stage and folds the span into the server's stage
+	// histograms and slow-trace ring (shed requests are skipped: their
+	// spans never reached the decode stage).
 	jobs := make(chan *batchJob, s.opts.Pipeline)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -390,11 +441,38 @@ func (s *Server) session(conn net.Conn) {
 			if writeErr != nil {
 				continue // connection is gone; keep draining barriers
 			}
+			if job.stats {
+				// telemetry barrier: every earlier job's spans are recorded by
+				// now, so the snapshot reconciles with the session's history
+				writeErr = writeOut(appendStatsReply(nil, s.Snapshot()))
+				continue
+			}
 			buf = appendBatchReplyHeader(buf[:0], job.id, len(job.resps))
 			for i := range job.resps {
 				buf = appendResponse(buf, &job.resps[i], mechBytes)
 			}
 			writeErr = writeOut(buf)
+			if writeErr != nil {
+				continue
+			}
+			flushT := time.Now()
+			for i := range job.spans {
+				if job.resps[i].Shed {
+					continue
+				}
+				sp := &job.spans[i]
+				sp.Mark(obs.StageWrite, flushT)
+				s.stages.Record(sp)
+				s.traces.Offer(obs.Trace{
+					End:   sp.End().UnixNano(),
+					Total: sp.Total(),
+					Stages: [obs.NumStages]time.Duration{
+						sp.Stage(obs.StageAdmit), sp.Stage(obs.StageQueue),
+						sp.Stage(obs.StageCoalesce), sp.Stage(obs.StageDecode),
+						sp.Stage(obs.StageWrite),
+					},
+				})
+			}
 		}
 	}()
 
@@ -420,6 +498,7 @@ read:
 		if err != nil {
 			break // EOF = client done; anything else ends the session too
 		}
+		frameT := time.Now()
 		switch payload[0] {
 		case msgBatch:
 			batchID, syndromes, perr := parseBatch(payload, detBytes)
@@ -431,10 +510,11 @@ read:
 				fail(perr)
 				break read
 			}
-			job := &batchJob{id: batchID, resps: make([]Response, len(syndromes))}
+			job := &batchJob{id: batchID,
+				resps: make([]Response, len(syndromes)),
+				spans: make([]obs.Span, len(syndromes))}
 			job.wg.Add(len(syndromes))
 			jobs <- job // reserve the reply slot before admission
-			now := time.Now()
 			for i, raw := range syndromes {
 				vec := gf2.NewVec(p.dem.NumDets)
 				if err := vec.SetBytes(raw); err != nil {
@@ -442,12 +522,17 @@ read:
 					job.wg.Done()
 					continue
 				}
+				sp := &job.spans[i]
+				sp.Begin(frameT)
+				now := time.Now()
+				sp.Mark(obs.StageAdmit, now)
 				p.submit(&request{
 					syndrome: vec,
 					seed:     RequestSeed(h.StreamSeed, reqIndex),
 					enqueued: now,
 					deadline: h.Deadline,
 					resp:     &job.resps[i],
+					span:     sp,
 					wg:       &job.wg,
 				})
 				reqIndex++
@@ -466,15 +551,20 @@ read:
 				sampler := frame.NewDEMSampler(p.dem, h.P, SampleSeed(h.StreamSeed))
 				sampleCur = frame.NewCursor(sampler.SampleBlock)
 			}
-			job := &batchJob{id: batchID, resps: make([]Response, count)}
+			job := &batchJob{id: batchID,
+				resps: make([]Response, count),
+				spans: make([]obs.Span, count)}
 			job.wg.Add(count)
 			jobs <- job // reserve the reply slot before admission
-			now := time.Now()
 			for i := 0; i < count; i++ {
 				sb, ob := sampleCur.Next()
 				vec := gf2.NewVec(p.dem.NumDets)
 				_ = vec.SetBytes(sb) // geometry fixed by the DEM
 				want := append([]byte(nil), ob...)
+				sp := &job.spans[i]
+				sp.Begin(frameT)
+				now := time.Now()
+				sp.Mark(obs.StageAdmit, now)
 				p.submit(&request{
 					syndrome: vec,
 					seed:     RequestSeed(h.StreamSeed, reqIndex),
@@ -482,10 +572,18 @@ read:
 					deadline: h.Deadline,
 					wantObs:  want,
 					resp:     &job.resps[i],
+					span:     sp,
 					wg:       &job.wg,
 				})
 				reqIndex++
 			}
+		case msgStats:
+			if perr := parseStatsRequest(payload); perr != nil {
+				fail(perr)
+				break read
+			}
+			s.reg.Counter("bpsf_stats_requests_total").Inc()
+			jobs <- &batchJob{stats: true} // answered by the reply writer, in order
 		case msgStreamOpen:
 			ack, oerr := streams.open(payload)
 			if oerr != nil {
@@ -496,15 +594,19 @@ read:
 				break read
 			}
 		case msgStreamRounds:
-			replies, rerr := streams.rounds(payload, time.Now())
+			replies, spans, rerr := streams.rounds(payload, frameT)
 			if rerr != nil {
 				fail(rerr)
 				break read
 			}
-			for _, reply := range replies {
+			for ri, reply := range replies {
 				if err := writeOut(reply); err != nil {
 					break read
 				}
+				// close the commit's write stage and record it: decode was
+				// marked at commit emission inside streams.rounds
+				spans[ri].Mark(obs.StageWrite, time.Now())
+				s.streamStages.Record(&spans[ri])
 			}
 		default:
 			fail(fmt.Errorf("service: unexpected message type %d", payload[0]))

@@ -8,6 +8,7 @@ import (
 	"bpsf/internal/codes"
 	"bpsf/internal/decoding"
 	"bpsf/internal/gf2"
+	"bpsf/internal/obs"
 	"bpsf/internal/window"
 )
 
@@ -194,38 +195,42 @@ func (ss *sessionStreams) open(payload []byte) ([]byte, error) {
 
 // rounds handles a StreamRounds frame: pushes each round into the stream,
 // decoding every window the rounds complete, and returns one StreamCommit
-// payload per committed window (emitted in order by the caller). When the
-// final round arrives the last commit carries the Final flag and the
-// whole-stream verdict, and the warm decoder returns to its pool.
-func (ss *sessionStreams) rounds(payload []byte, recvT time.Time) ([][]byte, error) {
+// payload per committed window (emitted in order by the caller), plus a
+// parallel stage span per commit — decode marked here at commit emission,
+// write closed by the caller once the reply frame is flushed, then folded
+// into the server's streamStages histograms. When the final round arrives
+// the last commit carries the Final flag and the whole-stream verdict, and
+// the warm decoder returns to its pool.
+func (ss *sessionStreams) rounds(payload []byte, recvT time.Time) ([][]byte, []obs.Span, error) {
 	r := &reader{b: payload}
 	r.u8()
 	id := r.u64()
 	if r.err != nil {
-		return nil, r.err
+		return nil, nil, r.err
 	}
 	strm, ok := ss.streams[id]
 	if !ok {
-		return nil, fmt.Errorf("service: rounds for unknown stream %d", id)
+		return nil, nil, fmt.Errorf("service: rounds for unknown stream %d", id)
 	}
 	_, firstRound, rounds, err := parseStreamRounds(payload, strm.detsPerRound)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if firstRound != strm.st.NextRound() {
-		return nil, fmt.Errorf("service: stream %d expects round %d, got %d (rounds must arrive in order)",
+		return nil, nil, fmt.Errorf("service: stream %d expects round %d, got %d (rounds must arrive in order)",
 			id, strm.st.NextRound(), firstRound)
 	}
 	var replies [][]byte
+	var spans []obs.Span
 	for i, raw := range rounds {
 		nd := strm.detsPerRound[firstRound+i]
 		bits := gf2.NewVec(nd)
 		if err := bits.SetBytes(raw); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		commits, err := strm.st.PushRound(bits)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		done := strm.st.Done()
 		for ci, cm := range commits {
@@ -244,9 +249,14 @@ func (ss *sessionStreams) rounds(payload []byte, recvT time.Time) ([][]byte, err
 			for _, m := range cm.Mechs {
 				strm.mechVec.Set(m, true)
 			}
-			lat := time.Since(recvT)
-			ss.srv.streamLat.observe(lat)
+			doneT := time.Now()
+			lat := doneT.Sub(recvT)
+			ss.srv.streamLat.Observe(lat)
 			ss.srv.windowsDecoded.Add(1)
+			var sp obs.Span
+			sp.Begin(recvT)
+			sp.Mark(obs.StageDecode, doneT)
+			spans = append(spans, sp)
 			replies = append(replies, appendStreamCommit(nil, streamCommitMsg{
 				id:         id,
 				window:     cm.Window,
@@ -261,7 +271,7 @@ func (ss *sessionStreams) rounds(payload []byte, recvT time.Time) ([][]byte, err
 			ss.close(id)
 		}
 	}
-	return replies, nil
+	return replies, spans, nil
 }
 
 // close returns stream id's warm decoder to its pool (idempotent).

@@ -1,0 +1,448 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bpsf/internal/gf2"
+	"bpsf/internal/obs"
+	"bpsf/internal/sim"
+)
+
+// TestStatsReplyRoundTrip pins the msgStats wire codec: a populated
+// ServerSnapshot must survive appendStatsReply → parseStatsReply exactly
+// (derived fields — histogram Avg, pool AvgBatch — are recomputed on
+// parse from the carried fields, so they round-trip too).
+func TestStatsReplyRoundTrip(t *testing.T) {
+	var lat histogram
+	for i := 1; i <= 100; i++ {
+		lat.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var set obs.StageSet
+	var sp obs.Span
+	t0 := time.Unix(100, 0)
+	sp.Begin(t0)
+	sp.Mark(obs.StageAdmit, t0.Add(time.Microsecond))
+	sp.Mark(obs.StageDecode, t0.Add(3*time.Microsecond))
+	sp.Mark(obs.StageWrite, t0.Add(4*time.Microsecond))
+	set.Record(&sp)
+	set.Record(&sp)
+
+	want := ServerSnapshot{
+		Uptime: 90 * time.Second,
+		Runtime: obs.RuntimeSnapshot{
+			Goroutines: 12, GoMaxProcs: 8, NumCPU: 8,
+			HeapAlloc: 1 << 20, HeapSys: 1 << 22, TotalAlloc: 1 << 24, Mallocs: 12345,
+			NumGC: 3, GCPauseTotal: 400 * time.Microsecond, LastGCPause: 50 * time.Microsecond,
+		},
+		SessionsTotal:  7,
+		SessionsActive: 2,
+		Pools: []PoolStats{{
+			Pool: "bb72/r2/p0.02/bpsf(iters=30)", Size: 4,
+			Admitted: 120, Decoded: 100, ShedQueue: 15, ShedDeadline: 5,
+			Batches: 25, Coalesced: 100, AvgBatch: 4,
+			Busy:    3 * time.Second,
+			Latency: lat.Snapshot(),
+		}},
+		Streams:      StreamStats{Opened: 3, Windows: 9, Latency: lat.Snapshot()},
+		Stages:       set.Snapshot(),
+		StreamStages: obs.StageSnapshot{},
+		Traces: []obs.Trace{
+			{End: 1712345, Total: 4 * time.Microsecond,
+				Stages: [obs.NumStages]time.Duration{time.Microsecond, 0, 0, 2 * time.Microsecond, time.Microsecond}},
+		},
+	}
+	// empty stage histograms encode as all-zero and parse back identically
+	payload := appendStatsReply(nil, want)
+	got, err := parseStatsReply(payload)
+	if err != nil {
+		t.Fatalf("parseStatsReply: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stats reply round-trip diverges:\n got %+v\nwant %+v", got, want)
+	}
+	// canonical: re-encoding the parse reproduces the bytes
+	if re := appendStatsReply(nil, got); !reflect.DeepEqual(re, payload) {
+		t.Fatal("re-encoded stats reply is not byte-identical")
+	}
+}
+
+// TestStatsReplyRejectsMalformedHistograms pins the canonical sparse
+// histogram rules the parser enforces: non-increasing bucket indices,
+// zero counts and count/N mismatches are all errors, never silent.
+func TestStatsReplyRejectsMalformedHistograms(t *testing.T) {
+	base := func() []byte {
+		// a valid 1-sample histogram body
+		var h obs.HistData
+		h.Observe(time.Millisecond)
+		return appendHistSnapshot(nil, h.Snapshot())
+	}
+	cases := []struct {
+		name    string
+		corrupt func(b []byte) []byte
+	}{
+		{"bucket count beyond max", func(b []byte) []byte {
+			b[8*8] = obs.NumBuckets + 1
+			return b
+		}},
+		{"zero bucket count", func(b []byte) []byte {
+			// keep the index but zero the count: sparse entries must be nonzero
+			for i := 8*8 + 2; i < 8*8+10; i++ {
+				b[i] = 0
+			}
+			return b
+		}},
+		{"bucket sum != N", func(b []byte) []byte {
+			b[0] = 99 // header N no longer matches the single bucket count
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &reader{b: tc.corrupt(base())}
+			if _, err := parseHistSnapshot(r); err == nil {
+				t.Fatal("malformed histogram parsed without error")
+			}
+		})
+	}
+}
+
+// TestPoolStatsCoherentUnderHammer is the snapshot-consistency fix
+// (PR 7): concurrent submitters, workers and a stats reader must never
+// observe a snapshot where the latency histogram disagrees with the
+// decode counter or completions exceed admissions — the pre-PR7 pool
+// mixed atomics with a separately locked histogram and could tear.
+func TestPoolStatsCoherentUnderHammer(t *testing.T) {
+	p, err := newPool("stub", nil, func() (sim.Decoder, error) {
+		return &stubDecoder{}, nil
+	}, poolOptions{size: 4, queueDepth: 16, maxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const submitters = 4
+	const perSubmitter = 2000
+	var wg sync.WaitGroup
+	var reqWG sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resps := make([]Response, perSubmitter)
+			for i := 0; i < perSubmitter; i++ {
+				reqWG.Add(1)
+				p.submit(&request{
+					syndrome: gf2.NewVec(8),
+					enqueued: time.Now(),
+					deadline: time.Second, // non-blocking admission: sheds possible
+					resp:     &resps[i],
+					wg:       &reqWG,
+				})
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := p.stats()
+			if uint64(st.Latency.N) != st.Decoded {
+				t.Errorf("torn snapshot: Latency.N=%d, Decoded=%d", st.Latency.N, st.Decoded)
+				return
+			}
+			if st.Decoded+st.ShedQueue+st.ShedDeadline > st.Admitted {
+				t.Errorf("torn snapshot: completions %d+%d+%d exceed admissions %d",
+					st.Decoded, st.ShedQueue, st.ShedDeadline, st.Admitted)
+				return
+			}
+			if st.Coalesced < st.Batches && st.Batches > 0 {
+				t.Errorf("torn snapshot: %d batches claimed only %d requests", st.Batches, st.Coalesced)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	reqWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	p.close()
+
+	st := p.stats()
+	const n = submitters * perSubmitter
+	if st.Admitted != n {
+		t.Fatalf("admitted %d, want %d", st.Admitted, n)
+	}
+	if st.Decoded+st.ShedQueue+st.ShedDeadline != n {
+		t.Fatalf("final accounting leaks requests: %+v", st)
+	}
+	if uint64(st.Latency.N) != st.Decoded {
+		t.Fatalf("final snapshot: Latency.N=%d, Decoded=%d", st.Latency.N, st.Decoded)
+	}
+}
+
+// TestServerStatsReconcile is the telemetry acceptance invariant end to
+// end: after a session decodes a known number of syndromes, a Stats pull
+// on the same session must report stage histograms whose every stage
+// count equals that number exactly (the stats reply rides the reply
+// writer's queue, so it is ordered after every preceding batch's
+// recording), pool counters that match, and slow traces whose stage
+// durations tile their totals.
+func TestServerStatsReconcile(t *testing.T) {
+	s := startServer(t, Options{PoolSize: 2, QueueDepth: 64, MaxBatch: 8})
+	h := testHello(4)
+	const batches = 6
+	const batchSize = 5
+	const total = batches * batchSize
+	syndromes := sampleSyndromes(t, s, h, total, 11)
+
+	c, err := Dial(s.Addr().String(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var pendings []*Pending
+	for b := 0; b < batches; b++ {
+		p, err := c.Submit(syndromes[b*batchSize : (b+1)*batchSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	for _, p := range pendings {
+		if _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if snap.Stages.Total.N != total {
+		t.Fatalf("stage total histogram has %d requests, want %d", snap.Stages.Total.N, total)
+	}
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if n := snap.Stages.Stages[st].N; n != total {
+			t.Errorf("stage %v histogram has %d requests, want %d (stage counts must reconcile)", st, n, total)
+		}
+	}
+	if len(snap.Pools) != 1 {
+		t.Fatalf("%d pools, want 1", len(snap.Pools))
+	}
+	ps := snap.Pools[0]
+	if ps.Admitted != total || ps.Decoded != total || ps.ShedQueue != 0 || ps.ShedDeadline != 0 {
+		t.Fatalf("pool accounting: %+v, want %d admitted = decoded", ps, total)
+	}
+	if uint64(ps.Latency.N) != ps.Decoded {
+		t.Fatalf("pool Latency.N=%d != Decoded=%d", ps.Latency.N, ps.Decoded)
+	}
+	if snap.SessionsTotal < 1 || snap.SessionsActive < 1 {
+		t.Fatalf("session counters: total=%d active=%d", snap.SessionsTotal, snap.SessionsActive)
+	}
+	if snap.Runtime.Goroutines < 1 || snap.Uptime <= 0 {
+		t.Fatalf("runtime section empty: %+v", snap.Runtime)
+	}
+	if len(snap.Traces) == 0 {
+		t.Fatal("no slow traces retained after decoding")
+	}
+	for i, tr := range snap.Traces {
+		var sum time.Duration
+		for _, d := range tr.Stages {
+			sum += d
+		}
+		if sum != tr.Total {
+			t.Errorf("trace %d stages sum %v != total %v", i, sum, tr.Total)
+		}
+		if i > 0 && tr.Total > snap.Traces[i-1].Total {
+			t.Errorf("traces not sorted slowest first at %d", i)
+		}
+	}
+
+	// the span tiling invariant survives aggregation: per-stage sums add up
+	// to the total-latency sum exactly
+	var stageSum time.Duration
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		stageSum += snap.Stages.Stages[st].Sum
+	}
+	if stageSum != snap.Stages.Total.Sum {
+		t.Fatalf("stage sums %v != total residence %v (stages must tile requests)", stageSum, snap.Stages.Total.Sum)
+	}
+
+	// the text rendering (SIGUSR1 / bpsf-load -stats) carries every section
+	var buf strings.Builder
+	snap.WriteText(&buf)
+	text := buf.String()
+	for _, want := range []string{"server: up", "pool bb72", "stages (", "slowest"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestStreamStatsReconcile pins the stream plane's counterpart: windowed
+// commits land in StreamStages with one decode+write span per commit.
+func TestStreamStatsReconcile(t *testing.T) {
+	s := startServer(t, Options{PoolSize: 1})
+	h := testHello(21)
+	c, err := Dial(s.Addr().String(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.OpenStream(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := make([]gf2.Vec, st.NumRounds())
+	for i := range rounds {
+		rounds[i] = gf2.NewVec(st.RoundDets(i))
+	}
+	if err := st.SendRounds(rounds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Streams.Opened != 1 {
+		t.Fatalf("streams opened %d, want 1", snap.Streams.Opened)
+	}
+	if snap.Streams.Windows == 0 {
+		t.Fatal("no windows committed")
+	}
+	if got := snap.StreamStages.Total.N; uint64(got) != snap.Streams.Windows {
+		t.Fatalf("stream stage histograms hold %d commits, server committed %d", got, snap.Streams.Windows)
+	}
+	if snap.StreamStages.Stages[obs.StageDecode].Sum == 0 {
+		t.Fatal("stream decode stage recorded no time")
+	}
+}
+
+// TestAdminEndpoints drives a loopback server under load and scrapes the
+// admin plane: /metrics must expose the pool counters and stage
+// histograms with counts that reconcile with the request count, /statusz
+// must serve the same snapshot as JSON, and Drain must close the
+// listener.
+func TestAdminEndpoints(t *testing.T) {
+	s := startServer(t, Options{PoolSize: 2, MaxBatch: 8})
+	adminAddr, err := s.ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := testHello(17)
+	const total = 24
+	syndromes := sampleSyndromes(t, s, h, total, 13)
+
+	c, err := Dial(s.Addr().String(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Decode(syndromes); err != nil {
+		t.Fatal(err)
+	}
+	// barrier: the in-protocol stats pull orders the scrape after the
+	// session's last span recording
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + adminAddr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	decodedRe := regexp.MustCompile(`(?m)^bpsf_pool_decoded_total\{pool="[^"]+"\} (\d+)$`)
+	m := decodedRe.FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("/metrics missing bpsf_pool_decoded_total:\n%s", metrics)
+	}
+	if n, _ := strconv.Atoi(m[1]); n != total {
+		t.Fatalf("bpsf_pool_decoded_total = %s, want %d", m[1], total)
+	}
+	for _, stage := range obs.StageNames() {
+		re := regexp.MustCompile(fmt.Sprintf(`(?m)^bpsf_stage_seconds_count\{stage=%q\} (\d+)$`, stage))
+		sm := re.FindStringSubmatch(metrics)
+		if sm == nil {
+			t.Fatalf("/metrics missing bpsf_stage_seconds_count for stage %q", stage)
+		}
+		if n, _ := strconv.Atoi(sm[1]); n != total {
+			t.Fatalf("stage %q count %s, want %d (stage histograms must sum to the request count)", stage, sm[1], total)
+		}
+	}
+	for _, want := range []string{"go_goroutines", "bpsf_sessions_total", "bpsf_request_seconds_count", "process_uptime_seconds"} {
+		if !regexp.MustCompile(`(?m)^` + want + `\b`).MatchString(metrics) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	var statusz struct {
+		Pools []struct {
+			Pool    string
+			Decoded uint64
+		}
+		Stages struct {
+			Total struct{ N int }
+		}
+		Traces []struct{ Total int64 }
+	}
+	if err := json.Unmarshal([]byte(get("/statusz")), &statusz); err != nil {
+		t.Fatalf("/statusz is not JSON: %v", err)
+	}
+	if len(statusz.Pools) != 1 || statusz.Pools[0].Decoded != total {
+		t.Fatalf("/statusz pools: %+v, want one pool with %d decoded", statusz.Pools, total)
+	}
+	if statusz.Stages.Total.N != total {
+		t.Fatalf("/statusz stage total N=%d, want %d", statusz.Stages.Total.N, total)
+	}
+	if len(statusz.Traces) == 0 {
+		t.Fatal("/statusz has no slow traces")
+	}
+
+	if !regexp.MustCompile(`(?s)profile`).MatchString(get("/debug/pprof/")) {
+		t.Error("/debug/pprof/ index missing")
+	}
+
+	s.Drain(time.Second)
+	if _, err := http.Get("http://" + adminAddr.String() + "/metrics"); err == nil {
+		t.Fatal("admin listener still serving after Drain")
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/codes"
+	"bpsf/internal/obs"
+	"bpsf/internal/sparse"
+)
+
+// TestRunMetricsProgress pins the engine's observability hooks: a run
+// handed a registry reports its shard decomposition and exact shot and
+// failure totals, a run without one (nil registry) produces identical
+// results — instrumentation is purely observational.
+func TestRunMetricsProgress(t *testing.T) {
+	css, err := codes.BB72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(h *sparse.Mat, priors []float64) (Decoder, error) {
+		return NewBP(h, priors, bp.Config{MaxIter: 5}), nil
+	}
+
+	reg := obs.NewRegistry()
+	cfg := Config{P: 0.05, Shots: 64, Seed: 9, Workers: 2, Metrics: reg}
+	res, err := RunCapacity(css, mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shots := reg.Counter("sim_shots_total").Value()
+	if shots != uint64(res.Shots) {
+		t.Fatalf("sim_shots_total=%d, want %d", shots, res.Shots)
+	}
+	shards := reg.Gauge("sim_shards").Value()
+	if shards < 1 {
+		t.Fatalf("sim_shards=%d", shards)
+	}
+	done := reg.Counter("sim_shards_done_total").Value()
+	if done != uint64(shards) {
+		t.Fatalf("sim_shards_done_total=%d, want %d (every shard reports completion)", done, shards)
+	}
+	if fails := reg.Counter("sim_failures_total").Value(); fails != uint64(res.Failures) {
+		t.Fatalf("sim_failures_total=%d, result says %d failures", fails, res.Failures)
+	}
+
+	// determinism: the bare run matches the instrumented one exactly
+	bare := cfg
+	bare.Metrics = nil
+	res2, err := RunCapacity(css, mk, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Shots != res.Shots || res2.Failures != res.Failures {
+		t.Fatalf("metrics disturbed the run: %+v vs %+v", res2, res)
+	}
+}
