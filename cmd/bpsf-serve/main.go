@@ -45,6 +45,8 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "session grace period on shutdown")
 	statsEvery := flag.Duration("stats", 0, "periodic stats interval (0 = only on exit)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	noBatchDecode := flag.Bool("no-batch-decode", false,
+		"disable the bitsliced batch-decode fast path (pools decode every request scalar; for performance A/B runs — responses are byte-identical either way)")
 	flag.Parse()
 
 	allowed, err := parseDecoderKinds(*decoders)
@@ -66,6 +68,8 @@ func main() {
 		StreamWindow: *windowRounds,
 		StreamCommit: *commitRounds,
 		Logf:         logf,
+
+		DisableBatchDecode: *noBatchDecode,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)

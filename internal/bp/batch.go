@@ -1,0 +1,465 @@
+package bp
+
+// Structure-of-arrays batch BP: 64 syndromes per call, consumed directly
+// from detector-major lane words (dets[c] bit s = check c fired in shot
+// s, the layout frame.Batch samples into).
+//
+// Message storage is lane-major SoA: the 64 lanes of edge e's
+// check-to-variable message sit contiguous at c2v[e*64 : e*64+64], and
+// likewise for the per-variable marginals and flooding deltas. One
+// flooding iteration streams each per-edge lane group exactly once, so
+// the memory-bound inner loops touch 64 shots per cache-line run instead
+// of re-walking the whole graph per shot.
+//
+// Lane semantics are exact: each active lane performs the identical
+// float32 operation sequence as Decoder.DecodeStop with the flooding
+// min-sum schedule (same staged check pass, same adaptive α = 1−2⁻ⁱ, same
+// Inf→maxLLR clamps, same early exit on syndrome match), so Success,
+// Iterations, and every hard-decision bit are bit-identical per lane —
+// locked down by the differential suite in batch_test.go. Convergence is
+// latched per lane: the moment a lane's hard decision satisfies its
+// syndrome (checked word-parallel across all 64 lanes), its estimate and
+// iteration count freeze and the lane drops out of the active set, so
+// late stragglers don't perturb finished shots.
+//
+// The Quantized variant keeps the same structure over Q6 fixed-point
+// messages (int16 c2v at scale 64, int32 marginals, α as an integer
+// multiply-and-shift): half the message footprint again, at the cost of
+// exactness — its accuracy is held to the float path statistically (6σ
+// logical-error equivalence at the simulation level), not bit-for-bit.
+
+import (
+	"math"
+	"math/bits"
+
+	"bpsf/internal/tanner"
+)
+
+// BatchLanes is the lane count of one batch word (= frame.BlockShots and
+// decoding.BatchLanes).
+const BatchLanes = 64
+
+// BatchConfig parameterizes a BatchDecoder. Only the flooding min-sum
+// schedule is supported: layered sweeps update posteriors serially in
+// place and have no word-parallel formulation.
+type BatchConfig struct {
+	// MaxIter is the iteration cap (default 100).
+	MaxIter int
+	// FixedAlpha, when > 0, overrides the adaptive α = 1−2⁻ⁱ.
+	FixedAlpha float64
+	// Quantized selects the Q6 fixed-point message variant.
+	Quantized bool
+}
+
+// BatchResult is one 64-lane decode report. Err and Iterations alias
+// reusable decoder buffers valid until the next DecodeBatch (the batch
+// analogue of the Result.ErrHat aliasing contract).
+type BatchResult struct {
+	// SuccessMask bit s is lane s's Result.Success; dead lanes are 0.
+	SuccessMask uint64
+	// Err holds the hard decisions as column-major lane words: bit s of
+	// Err[v] set means lane s estimates variable v flipped.
+	Err []uint64
+	// Iterations[s] is lane s's Result.Iterations.
+	Iterations []int32
+}
+
+// BatchDecoder is a reusable SoA batch BP workspace bound to one Tanner
+// graph and one prior vector. Like Decoder it is not safe for concurrent
+// use; give each worker its own via Clone.
+type BatchDecoder struct {
+	g   *tanner.Graph
+	cfg BatchConfig
+
+	prior []float32
+
+	// float path, lane-major SoA
+	c2v   []float32 // [E*64]
+	marg  []float32 // [N*64]
+	delta []float32 // [N*64]
+
+	// quantized path (allocated instead when cfg.Quantized)
+	priorQ []int32
+	c2vQ   []int16 // [E*64]
+	margQ  []int32 // [N*64]
+	deltaQ []int32 // [N*64]
+
+	// per-check lane scratch
+	min1, min2 [BatchLanes]float32
+	min1q      [BatchLanes]int32
+	min2q      [BatchLanes]int32
+	argmin     [BatchLanes]int32
+
+	// word-parallel lane state
+	hardWords []uint64 // [N] current hard decision
+	errWords  []uint64 // [N] latched output
+	iters     []int32  // [64]
+	lanes     []int    // active lane list, rebuilt per iteration
+}
+
+// qScale is the Q6 fixed-point scale of the quantized message variant.
+const qScale = 64
+
+// qMaxLLR is maxLLR at qScale (the Inf clamp of the quantized path).
+const qMaxLLR = int32(maxLLR * qScale)
+
+// qInf is the +Inf sentinel of the quantized min scan.
+const qInf = int32(1) << 30
+
+// NewBatch builds a batch decoder for graph g with per-variable error
+// probabilities probs (clamped to finite LLRs exactly as New).
+func NewBatch(g *tanner.Graph, probs []float64, cfg BatchConfig) *BatchDecoder {
+	if len(probs) != g.N {
+		panic("bp: prior length mismatch")
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	d := &BatchDecoder{
+		g:         g,
+		cfg:       cfg,
+		prior:     make([]float32, g.N),
+		hardWords: make([]uint64, g.N),
+		errWords:  make([]uint64, g.N),
+		iters:     make([]int32, BatchLanes),
+		lanes:     make([]int, 0, BatchLanes),
+	}
+	for i, p := range probs {
+		d.prior[i] = float32(LLRFromProb(p))
+	}
+	if cfg.Quantized {
+		d.priorQ = make([]int32, g.N)
+		for i := range d.prior {
+			d.priorQ[i] = int32(math.Round(float64(d.prior[i]) * qScale))
+		}
+		d.c2vQ = make([]int16, g.E*BatchLanes)
+		d.margQ = make([]int32, g.N*BatchLanes)
+		d.deltaQ = make([]int32, g.N*BatchLanes)
+	} else {
+		d.c2v = make([]float32, g.E*BatchLanes)
+		d.marg = make([]float32, g.N*BatchLanes)
+		d.delta = make([]float32, g.N*BatchLanes)
+	}
+	return d
+}
+
+// Graph returns the decoder's Tanner graph.
+func (d *BatchDecoder) Graph() *tanner.Graph { return d.g }
+
+// Config returns the decoder's configuration.
+func (d *BatchDecoder) Config() BatchConfig { return d.cfg }
+
+// Clone returns an independent decoder with the same graph, priors and
+// config (fresh message buffers), for handing one to each worker.
+func (d *BatchDecoder) Clone() *BatchDecoder {
+	probs := make([]float64, d.g.N)
+	for i, l := range d.prior {
+		// invert the LLR back to a probability: NewBatch re-derives the
+		// same clamped float32 LLR, so clones are bit-compatible
+		probs[i] = 1 / (1 + math.Exp(float64(l)))
+	}
+	nd := NewBatch(d.g, probs, d.cfg)
+	copy(nd.prior, d.prior)
+	if d.cfg.Quantized {
+		copy(nd.priorQ, d.priorQ)
+	}
+	return nd
+}
+
+// laneMask mirrors decoding.LaneMask (kept local so bp stays a leaf).
+func laneMask(shots int) uint64 {
+	if shots >= BatchLanes {
+		return ^uint64(0)
+	}
+	if shots <= 0 {
+		return 0
+	}
+	return (uint64(1) << uint(shots)) - 1
+}
+
+// alphaAt returns iteration i's normalization factor, matching
+// Decoder.alpha bit-for-bit.
+func (d *BatchDecoder) alphaAt(i int) float32 {
+	if d.cfg.FixedAlpha > 0 {
+		return float32(d.cfg.FixedAlpha)
+	}
+	return float32(1 - math.Pow(2, -float64(i)))
+}
+
+// qAlphaAt returns iteration i's normalization as a /256 integer factor:
+// round(α·256) = 256 − 256·2⁻ⁱ for the adaptive schedule.
+func (d *BatchDecoder) qAlphaAt(i int) int32 {
+	if d.cfg.FixedAlpha > 0 {
+		return int32(math.Round(d.cfg.FixedAlpha * 256))
+	}
+	if i >= 8 {
+		return 256
+	}
+	return 256 - 256>>uint(i)
+}
+
+// DecodeBatch decodes the first `shots` lanes of one detector-major
+// block: len(dets) must be the check count M. Dead lanes are masked out
+// and stay zero in SuccessMask, Err and Iterations.
+func (d *BatchDecoder) DecodeBatch(dets []uint64, shots int) BatchResult {
+	if len(dets) != d.g.M {
+		panic("bp: batch syndrome length mismatch")
+	}
+	valid := laneMask(shots)
+	res := BatchResult{Err: d.errWords, Iterations: d.iters}
+
+	// reset: zero messages, broadcast priors, clear latched outputs
+	if d.cfg.Quantized {
+		for i := range d.c2vQ {
+			d.c2vQ[i] = 0
+		}
+		for v := 0; v < d.g.N; v++ {
+			base := v * BatchLanes
+			pv := d.priorQ[v]
+			for l := 0; l < BatchLanes; l++ {
+				d.margQ[base+l] = pv
+			}
+		}
+	} else {
+		for i := range d.c2v {
+			d.c2v[i] = 0
+		}
+		for v := 0; v < d.g.N; v++ {
+			base := v * BatchLanes
+			pv := d.prior[v]
+			for l := 0; l < BatchLanes; l++ {
+				d.marg[base+l] = pv
+			}
+		}
+	}
+	for v := range d.hardWords {
+		d.hardWords[v] = 0
+		d.errWords[v] = 0
+	}
+	for l := range d.iters {
+		d.iters[l] = 0
+	}
+
+	active := valid
+	for iter := 1; iter <= d.cfg.MaxIter && active != 0; iter++ {
+		d.lanes = d.lanes[:0]
+		for w := active; w != 0; {
+			l := bits.TrailingZeros64(w)
+			w &= w - 1
+			d.lanes = append(d.lanes, l)
+		}
+		if d.cfg.Quantized {
+			d.floodIterationQ(dets, d.qAlphaAt(iter))
+		} else {
+			d.floodIteration(dets, d.alphaAt(iter))
+		}
+		// word-parallel syndrome check over the active lanes
+		mism := uint64(0)
+		g := d.g
+		for c := 0; c < g.M; c++ {
+			parity := uint64(0)
+			for e := g.CheckPtr[c]; e < g.CheckPtr[c+1]; e++ {
+				parity ^= d.hardWords[g.EdgeVar[e]]
+			}
+			mism |= parity ^ dets[c]
+		}
+		newlyDone := active &^ mism
+		if newlyDone != 0 {
+			for v, h := range d.hardWords {
+				d.errWords[v] = d.errWords[v]&^newlyDone | h&newlyDone
+			}
+			for w := newlyDone; w != 0; {
+				l := bits.TrailingZeros64(w)
+				w &= w - 1
+				d.iters[l] = int32(iter)
+			}
+			res.SuccessMask |= newlyDone
+			active &^= newlyDone
+		}
+	}
+	// lanes that hit the iteration cap: freeze the final hard decision,
+	// Iterations = MaxIter, Success stays 0 — exactly the scalar exit.
+	if active != 0 {
+		for v, h := range d.hardWords {
+			d.errWords[v] = d.errWords[v]&^active | h&active
+		}
+		for w := active; w != 0; {
+			l := bits.TrailingZeros64(w)
+			w &= w - 1
+			d.iters[l] = int32(d.cfg.MaxIter)
+		}
+	}
+	return res
+}
+
+// floodIteration performs one flooding min-sum iteration for every lane
+// in d.lanes, mirroring Decoder.floodIteration per lane: staged per-check
+// extrinsics over old marginals, deltas committed after the full check
+// pass, then the hard decision into hardWords.
+func (d *BatchDecoder) floodIteration(dets []uint64, alpha float32) {
+	g := d.g
+	c2v, marg, delta := d.c2v, d.marg, d.delta
+	vars := g.EdgeVar
+	lanes := d.lanes
+	inf := float32(math.Inf(1))
+
+	for _, l := range lanes {
+		for v := 0; v < g.N; v++ {
+			delta[v*BatchLanes+l] = 0
+		}
+	}
+	for c := 0; c < g.M; c++ {
+		lo, hi := g.CheckPtr[c], g.CheckPtr[c+1]
+		for _, l := range lanes {
+			d.min1[l] = inf
+			d.min2[l] = inf
+			d.argmin[l] = -1
+		}
+		var signs uint64
+		for e := lo; e < hi; e++ {
+			vb := vars[e] * BatchLanes
+			eb := e * BatchLanes
+			for _, l := range lanes {
+				m := marg[vb+l] - c2v[eb+l]
+				if m < 0 {
+					signs ^= 1 << uint(l)
+					m = -m
+				}
+				if m < d.min1[l] {
+					d.min2[l], d.min1[l], d.argmin[l] = d.min1[l], m, int32(e)
+				} else if m < d.min2[l] {
+					d.min2[l] = m
+				}
+			}
+		}
+		fired := dets[c]
+		for _, l := range lanes {
+			// exact-Inf clamp, as in the scalar pass: finite magnitudes
+			// above maxLLR are legal and must flow through unchanged
+			if d.min2[l] == inf {
+				d.min2[l] = maxLLR
+			}
+			if d.min1[l] == inf {
+				d.min1[l] = maxLLR
+			}
+		}
+		for e := lo; e < hi; e++ {
+			vb := vars[e] * BatchLanes
+			eb := e * BatchLanes
+			for _, l := range lanes {
+				old := c2v[eb+l]
+				mag := d.min1[l]
+				if int32(e) == d.argmin[l] {
+					mag = d.min2[l]
+				}
+				base := alpha
+				if fired>>uint(l)&1 == 1 {
+					base = -base
+				}
+				out := base * mag
+				if marg[vb+l]-old < 0 != (signs>>uint(l)&1 == 1) {
+					out = -out
+				}
+				c2v[eb+l] = out
+				delta[vb+l] += out - old
+			}
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		vb := v * BatchLanes
+		h := d.hardWords[v]
+		for _, l := range lanes {
+			m := marg[vb+l] + delta[vb+l]
+			marg[vb+l] = m
+			if m <= 0 {
+				h |= 1 << uint(l)
+			} else {
+				h &^= 1 << uint(l)
+			}
+		}
+		d.hardWords[v] = h
+	}
+}
+
+// floodIterationQ is the Q6 fixed-point flooding iteration: identical
+// structure with integer messages; α is applied as (aNum·mag)>>8.
+func (d *BatchDecoder) floodIterationQ(dets []uint64, aNum int32) {
+	g := d.g
+	c2v, marg, delta := d.c2vQ, d.margQ, d.deltaQ
+	vars := g.EdgeVar
+	lanes := d.lanes
+
+	for _, l := range lanes {
+		for v := 0; v < g.N; v++ {
+			delta[v*BatchLanes+l] = 0
+		}
+	}
+	for c := 0; c < g.M; c++ {
+		lo, hi := g.CheckPtr[c], g.CheckPtr[c+1]
+		for _, l := range lanes {
+			d.min1q[l] = qInf
+			d.min2q[l] = qInf
+			d.argmin[l] = -1
+		}
+		var signs uint64
+		for e := lo; e < hi; e++ {
+			vb := vars[e] * BatchLanes
+			eb := e * BatchLanes
+			for _, l := range lanes {
+				m := marg[vb+l] - int32(c2v[eb+l])
+				if m < 0 {
+					signs ^= 1 << uint(l)
+					m = -m
+				}
+				if m < d.min1q[l] {
+					d.min2q[l], d.min1q[l], d.argmin[l] = d.min1q[l], m, int32(e)
+				} else if m < d.min2q[l] {
+					d.min2q[l] = m
+				}
+			}
+		}
+		fired := dets[c]
+		for _, l := range lanes {
+			if d.min2q[l] == qInf {
+				d.min2q[l] = qMaxLLR
+			}
+			if d.min1q[l] == qInf {
+				d.min1q[l] = qMaxLLR
+			}
+		}
+		for e := lo; e < hi; e++ {
+			vb := vars[e] * BatchLanes
+			eb := e * BatchLanes
+			for _, l := range lanes {
+				old := int32(c2v[eb+l])
+				mag := d.min1q[l]
+				if int32(e) == d.argmin[l] {
+					mag = d.min2q[l]
+				}
+				out := aNum * mag >> 8
+				if fired>>uint(l)&1 == 1 {
+					out = -out
+				}
+				if marg[vb+l]-old < 0 != (signs>>uint(l)&1 == 1) {
+					out = -out
+				}
+				c2v[eb+l] = int16(out)
+				delta[vb+l] += out - old
+			}
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		vb := v * BatchLanes
+		h := d.hardWords[v]
+		for _, l := range lanes {
+			m := marg[vb+l] + delta[vb+l]
+			marg[vb+l] = m
+			if m <= 0 {
+				h |= 1 << uint(l)
+			} else {
+				h &^= 1 << uint(l)
+			}
+		}
+		d.hardWords[v] = h
+	}
+}

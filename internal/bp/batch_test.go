@@ -1,0 +1,238 @@
+package bp
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/gf2"
+	"bpsf/internal/sparse"
+	"bpsf/internal/tanner"
+)
+
+// packLanes builds the detector-major lane words of up to 64 syndromes.
+func packLanes(syndromes []gf2.Vec, m int) []uint64 {
+	dets := make([]uint64, m)
+	for lane, s := range syndromes {
+		for _, d := range s.Support() {
+			dets[d] |= uint64(1) << uint(lane)
+		}
+	}
+	return dets
+}
+
+// randomSyndromeBlock samples 64 syndromes: consistent H·e patterns
+// interleaved with raw random detector words — unconverged (failure)
+// lanes must mirror the scalar decoder too.
+func randomSyndromeBlock(rng *rand.Rand, h *sparse.Mat, p float64) []gf2.Vec {
+	m, n := h.Rows(), h.Cols()
+	out := make([]gf2.Vec, 64)
+	for i := range out {
+		s := gf2.NewVec(m)
+		if i%4 == 3 {
+			for d := 0; d < m; d++ {
+				if rng.Float64() < p {
+					s.Set(d, true)
+				}
+			}
+		} else {
+			e := gf2.NewVec(n)
+			for q := 0; q < n; q++ {
+				if rng.Float64() < p {
+					e.Set(q, true)
+				}
+			}
+			h.MulVecInto(s, e)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestBatchBPMatchesScalar is the float-path differential suite: every
+// lane of the SoA batch decoder must be bit-identical to the scalar
+// flooding decoder on the same syndrome — Success, Iterations, and every
+// hard-decision bit — because both perform the identical float32
+// operation sequence per lane. Converged, unconverged, and empty lanes
+// are all covered.
+func TestBatchBPMatchesScalar(t *testing.T) {
+	for _, name := range []string{"rsurf3", "rsurf5", "toric4", "bb72"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := codes.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := c.HZ
+			g := tanner.New(h)
+			for _, maxIter := range []int{8, 50} {
+				probs := uniformProbs(h.Cols(), 0.01)
+				scalar := New(g, probs, Config{MaxIter: maxIter})
+				batch := NewBatch(g, probs, BatchConfig{MaxIter: maxIter})
+				rng := rand.New(rand.NewSource(int64(len(name)*1000 + maxIter)))
+				for _, p := range []float64{0.01, 0.08, 0.2} {
+					syndromes := randomSyndromeBlock(rng, h, p)
+					syndromes[7] = gf2.NewVec(h.Rows()) // one guaranteed-empty lane
+					dets := packLanes(syndromes, h.Rows())
+					res := batch.DecodeBatch(dets, 64)
+					for lane, s := range syndromes {
+						want := scalar.Decode(s)
+						got := res.SuccessMask>>uint(lane)&1 == 1
+						if got != want.Success {
+							t.Fatalf("p=%g iters=%d lane %d: batch success %v, scalar %v",
+								p, maxIter, lane, got, want.Success)
+						}
+						if int(res.Iterations[lane]) != want.Iterations {
+							t.Fatalf("p=%g iters=%d lane %d: batch iters %d, scalar %d",
+								p, maxIter, lane, res.Iterations[lane], want.Iterations)
+						}
+						for v := 0; v < h.Cols(); v++ {
+							bbit := res.Err[v]>>uint(lane)&1 == 1
+							if bbit != want.ErrHat.Get(v) {
+								t.Fatalf("p=%g iters=%d lane %d var %d: batch %v, scalar %v (success=%v)",
+									p, maxIter, lane, v, bbit, want.ErrHat.Get(v), want.Success)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchBPRaggedTail decodes a 21-shot block with garbage in the dead
+// lanes: live lanes must match a clean full-width decode bit for bit,
+// dead lanes must emit nothing.
+func TestBatchBPRaggedTail(t *testing.T) {
+	c, err := codes.Get("rsurf5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.HZ
+	g := tanner.New(h)
+	probs := uniformProbs(h.Cols(), 0.01)
+	rng := rand.New(rand.NewSource(9))
+	syndromes := randomSyndromeBlock(rng, h, 0.08)
+	clean := packLanes(syndromes, h.Rows())
+
+	const shots = 21
+	live := laneMask(shots)
+	dirty := make([]uint64, len(clean))
+	for d := range dirty {
+		dirty[d] = clean[d]&live | ^live
+	}
+
+	ref := NewBatch(g, probs, BatchConfig{MaxIter: 30}).DecodeBatch(clean, 64)
+	refSuccess := ref.SuccessMask
+	refErr := append([]uint64(nil), ref.Err...)
+
+	res := NewBatch(g, probs, BatchConfig{MaxIter: 30}).DecodeBatch(dirty, shots)
+	if res.SuccessMask&^live != 0 {
+		t.Fatalf("dead lanes leaked into SuccessMask: %#x", res.SuccessMask)
+	}
+	if res.SuccessMask != refSuccess&live {
+		t.Fatalf("live-lane success %#x, want %#x", res.SuccessMask, refSuccess&live)
+	}
+	for v := range res.Err {
+		if res.Err[v]&^live != 0 {
+			t.Fatalf("var %d: dead lanes carry estimate bits %#x", v, res.Err[v])
+		}
+		if res.Err[v] != refErr[v]&live {
+			t.Fatalf("var %d: live lanes %#x, want %#x", v, res.Err[v], refErr[v]&live)
+		}
+	}
+	for l := shots; l < BatchLanes; l++ {
+		if res.Iterations[l] != 0 {
+			t.Fatalf("dead lane %d reports %d iterations", l, res.Iterations[l])
+		}
+	}
+}
+
+// TestBatchBPQuantized sanity-checks the Q6 fixed-point variant against
+// the float path on a fixed block of single-error syndromes: it must
+// succeed on exactly the lanes the float path succeeds on (plain BP
+// legitimately fails some surface-code lanes — split-syndrome degeneracy
+// is why the pipeline stacks SF/OSD behind it), every reported success
+// must really satisfy its syndrome, and empty lanes converge in one
+// iteration. Accuracy in general is held statistically at the simulation
+// level (6σ logical-error equivalence), not bit-for-bit.
+func TestBatchBPQuantized(t *testing.T) {
+	for _, name := range []string{"rsurf5", "bb72"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := codes.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := c.HZ
+			g := tanner.New(h)
+			probs := uniformProbs(h.Cols(), 0.01)
+			df := NewBatch(g, probs, BatchConfig{MaxIter: 50})
+			dq := NewBatch(g, probs, BatchConfig{MaxIter: 50, Quantized: true})
+
+			// block of single-error syndromes (one per lane, wrapping)
+			syndromes := make([]gf2.Vec, 64)
+			for i := range syndromes {
+				e := gf2.VecFromSupport(h.Cols(), []int{i % h.Cols()})
+				syndromes[i] = h.MulVec(e)
+			}
+			syndromes[5] = gf2.NewVec(h.Rows())
+			dets := packLanes(syndromes, h.Rows())
+			ref := df.DecodeBatch(dets, 64)
+			refSuccess := ref.SuccessMask
+			res := dq.DecodeBatch(dets, 64)
+			if res.SuccessMask != refSuccess {
+				t.Fatalf("quantized success %#x diverges from float %#x",
+					res.SuccessMask, refSuccess)
+			}
+			if res.Iterations[5] != 1 {
+				t.Fatalf("empty lane took %d iterations", res.Iterations[5])
+			}
+			// every success must satisfy its syndrome exactly
+			err2 := gf2.NewVec(h.Cols())
+			for lane, s := range syndromes {
+				if res.SuccessMask>>uint(lane)&1 == 0 {
+					continue
+				}
+				err2.Zero()
+				for v := 0; v < h.Cols(); v++ {
+					if res.Err[v]>>uint(lane)&1 == 1 {
+						err2.Set(v, true)
+					}
+				}
+				resid := h.MulVec(err2)
+				resid.Xor(s)
+				if !resid.IsZero() {
+					t.Fatalf("lane %d: reported success but H·err != s", lane)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchBPZeroAllocSteadyState: DecodeBatch must not allocate after
+// construction, for both message variants.
+func TestBatchBPZeroAllocSteadyState(t *testing.T) {
+	c, err := codes.Get("rsurf5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.HZ
+	g := tanner.New(h)
+	probs := uniformProbs(h.Cols(), 0.01)
+	rng := rand.New(rand.NewSource(3))
+	blocks := make([][]uint64, 4)
+	for i := range blocks {
+		blocks[i] = packLanes(randomSyndromeBlock(rng, h, 0.05), h.Rows())
+	}
+	for _, quantized := range []bool{false, true} {
+		d := NewBatch(g, probs, BatchConfig{MaxIter: 30, Quantized: quantized})
+		i := 0
+		allocs := testing.AllocsPerRun(16, func() {
+			d.DecodeBatch(blocks[i%len(blocks)], 64)
+			i++
+		})
+		if allocs != 0 {
+			t.Fatalf("quantized=%v: DecodeBatch allocates %.1f/op in steady state, want 0",
+				quantized, allocs)
+		}
+	}
+}

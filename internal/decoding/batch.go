@@ -1,0 +1,88 @@
+package decoding
+
+import (
+	"bpsf/internal/sparse"
+)
+
+// Batch decoding: the word-parallel counterpart of Decoder. A batch
+// decoder consumes one 64-shot block of syndromes in detector-major lane
+// words — exactly the layout frame.Batch.Dets is sampled in, so blocks
+// flow from the word-parallel samplers into the kernels without any
+// per-bit shuffling — and reports all 64 verdicts and estimates at once.
+//
+// Lane conventions (DESIGN.md §11):
+//
+//   - dets[d] bit s  = detector d fired in shot s (LSB-first lanes).
+//   - shots ≤ BatchLanes marks the valid lane prefix; kernels mask the
+//     input with LaneMask(shots) and never read — or emit — garbage in
+//     the dead lanes: SuccessMask and every Err word are zero at and
+//     beyond bit `shots`.
+//   - BatchOutcome.Err[j] bit s = the shot-s estimate flips bit j
+//     (column-major lane words, the transpose-free dual of dets).
+
+// BatchLanes is the number of bit lanes per batch word — one 64-shot
+// block, matching frame.BlockShots.
+const BatchLanes = 64
+
+// LaneMask returns the valid-lane mask for a block carrying the first
+// `shots` lanes: bits [0, shots). shots outside [0, BatchLanes] saturates.
+func LaneMask(shots int) uint64 {
+	if shots >= BatchLanes {
+		return ^uint64(0)
+	}
+	if shots <= 0 {
+		return 0
+	}
+	return (uint64(1) << uint(shots)) - 1
+}
+
+// BatchOutcome is the unified 64-lane decode report.
+type BatchOutcome struct {
+	// SuccessMask bit s is Outcome.Success of lane s. Dead lanes
+	// (≥ shots) are zero.
+	SuccessMask uint64
+	// Err holds the estimated errors as column-major lane words: bit s of
+	// Err[j] set means lane s's estimate flips bit j. Like Outcome.ErrHat
+	// it aliases a reusable kernel buffer, valid until the next
+	// DecodeBatch on the same decoder. Lanes whose Success bit is clear
+	// may carry a partial estimate, same as the scalar contract.
+	Err []uint64
+	// Iterations is the per-lane serial iteration count (growth rounds
+	// for UF, BP iterations for BP).
+	Iterations [BatchLanes]int32
+}
+
+// BatchDecoder is the harness-facing batch decoder abstraction. Like
+// Decoder, an instance reuses internal buffers and must not be shared
+// across goroutines.
+type BatchDecoder interface {
+	// Name returns a short label for reports ("UF(batch)", ...).
+	Name() string
+	// DecodeBatch decodes the first `shots` lanes of one detector-major
+	// block. len(dets) must equal the check count of the decoder's H.
+	DecodeBatch(dets []uint64, shots int) BatchOutcome
+}
+
+// BatchFactory builds a BatchDecoder for a parity-check matrix and
+// per-bit priors, under the same concurrency contract as Factory.
+type BatchFactory func(h *sparse.Mat, priors []float64) (BatchDecoder, error)
+
+// BatchMulInto computes the word-parallel product out = m·cols over
+// GF(2): out[r] is the XOR of cols[j] over row r's support, i.e. for
+// every lane s at once, bit s of out[r] is row r's parity of the lane-s
+// column vector. One uint64 op per nonzero covers all 64 shots — this is
+// how batch callers predict observable flips (m = Obs, cols = Err) and
+// check the residual-syndrome invariant (m = H) without unpacking lanes.
+// len(cols) must be m.Cols(); out must have len m.Rows().
+func BatchMulInto(m *sparse.Mat, cols []uint64, out []uint64) {
+	if len(cols) != m.Cols() || len(out) != m.Rows() {
+		panic("decoding: BatchMulInto dimension mismatch")
+	}
+	for r := range out {
+		var w uint64
+		for _, j := range m.RowSupport(r) {
+			w ^= cols[j]
+		}
+		out[r] = w
+	}
+}

@@ -114,5 +114,9 @@ func (s *DEMSampler) fire(b *Batch, mech, lane int) {
 // LaneFires returns the number of mechanisms that fired in each lane of
 // the most recent block (shot i of the block is lane i) — the batch
 // counterpart of dem.Sampler.Mechs for summary reporting. The returned
-// array is a copy.
+// array is a copy. SampleBlock always fills and marks all BlockShots
+// lanes valid, so every entry describes a real shot; callers truncating
+// a block to fewer shots must index only lanes below their own count
+// (Cursor.Lane is never ≥ the lanes it has handed out, and returns -1
+// before the first shot).
 func (s *DEMSampler) LaneFires() [BlockShots]int { return s.fires }

@@ -58,6 +58,27 @@ func (b *Batch) Reset(numDets, numObs int) {
 	b.Obs = resizeWords(b.Obs, numObs)
 }
 
+// LaneMask returns the valid-lane mask of the batch: bits [0, Shots).
+// Consumers that read Dets/Obs word-wise on a ragged tail (Shots < 64)
+// must mask with it — lanes at or beyond Shots are dead and may hold
+// garbage when the batch was produced by anything other than the
+// package's samplers (which always fill and mark all 64 lanes).
+func (b *Batch) LaneMask() uint64 { return LaneMask(b.Shots) }
+
+// LaneMask returns the mask of the first `shots` bit lanes, saturating
+// outside [0, BlockShots]. It is the one ragged-tail rule shared with the
+// batch decode kernels (decoding.LaneMask is the same function; it is
+// duplicated so the decoding leaf package does not import frame).
+func LaneMask(shots int) uint64 {
+	if shots >= BlockShots {
+		return ^uint64(0)
+	}
+	if shots <= 0 {
+		return 0
+	}
+	return (uint64(1) << uint(shots)) - 1
+}
+
 func resizeWords(w []uint64, n int) []uint64 {
 	if cap(w) < n {
 		w = make([]uint64, n)
@@ -184,10 +205,11 @@ func unpackRows(src []byte, shots, stride int, words []uint64) []uint64 {
 // lane i mod 64 of block i/64 (the package determinism contract), so a
 // Cursor over a deterministic sampler is itself deterministic.
 type Cursor struct {
-	sample func(*Batch)
-	blk    Batch
-	pk     Packed
-	lane   int
+	sample  func(*Batch)
+	blk     Batch
+	pk      Packed
+	lane    int
+	started bool
 }
 
 // NewCursor returns a cursor over a block sampler's SampleBlock method.
@@ -203,6 +225,7 @@ func (c *Cursor) Next() (syndrome, obsFlips []byte) {
 		c.sample(&c.blk)
 		Pack(&c.blk, &c.pk)
 		c.lane = 0
+		c.started = true
 	}
 	syndrome, obsFlips = c.pk.Syndrome(c.lane), c.pk.ObsFlips(c.lane)
 	c.lane++
@@ -210,8 +233,17 @@ func (c *Cursor) Next() (syndrome, obsFlips []byte) {
 }
 
 // Lane returns the block lane of the shot most recently returned by Next
-// (for per-lane side channels like DEMSampler.LaneFires).
-func (c *Cursor) Lane() int { return c.lane - 1 }
+// (for per-lane side channels like DEMSampler.LaneFires), or -1 before
+// the first Next. The sentinel is part of the contract: a fresh cursor
+// used to report lane 63 here — a valid-looking lane that indexed
+// garbage in any per-lane side channel — so callers may rely on a
+// negative value to detect "no shot drawn yet".
+func (c *Cursor) Lane() int {
+	if !c.started {
+		return -1
+	}
+	return c.lane - 1
+}
 
 // transpose64 transposes a 64×64 bit matrix in place: bit s of row d moves
 // to bit d of row s (LSB-first bit order). Hacker's Delight §7-3, adapted

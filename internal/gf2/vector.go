@@ -167,6 +167,14 @@ func (v Vec) Equal(u Vec) bool {
 // byte, LSB first).
 func (v Vec) ByteLen() int { return (v.n + 7) / 8 }
 
+// Words returns the vector's backing words (bit i of Words()[i/64] is
+// bit i of the vector; tail bits beyond Len are zero). The slice aliases
+// the vector — callers must treat it as read-only. It exists for
+// word-at-a-time consumers like the batch decode kernels, which scatter
+// sparse vectors into lane words without the per-bit Get loop or the
+// allocation Support would cost.
+func (v Vec) Words() []uint64 { return v.w }
+
 // AppendBytes appends the vector's packed bits to dst — ByteLen bytes,
 // little-endian bit order within each byte — and returns the extended
 // slice. The wire format of the decode service.

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+// batchHello is a session shape whose spec has a bitsliced batch kernel.
+func batchHello(kind string, streamSeed int64) Hello {
+	h := Hello{Code: "bb72", Rounds: 2, P: 0.02, StreamSeed: streamSeed,
+		Spec: Spec{Kind: kind}}
+	if kind == "bp" {
+		h.Spec.BPIters = 30
+	}
+	return h
+}
+
+// poolStatsFor pulls one pool's stats out of a snapshot.
+func poolStatsFor(t *testing.T, snap ServerSnapshot, key string) PoolStats {
+	t.Helper()
+	for _, ps := range snap.Pools {
+		if ps.Pool == key {
+			return ps
+		}
+	}
+	t.Fatalf("no pool %q in snapshot (have %d pools)", key, len(snap.Pools))
+	return PoolStats{}
+}
+
+// TestBatchFastPathMatchesDirectDecode holds the bitsliced pool fast path
+// to the session determinism contract: for every batch-kernel spec, a
+// stream decoded through a batch-enabled server is byte-identical to
+// direct library decodes — and the pool stats prove the kernel actually
+// served lanes (a single worker over a 200-deep backlog must coalesce
+// past the batch threshold).
+func TestBatchFastPathMatchesDirectDecode(t *testing.T) {
+	for _, kind := range []string{"uf", "bp"} {
+		t.Run(kind, func(t *testing.T) {
+			s := startServer(t, Options{PoolSize: 1, MaxBatch: 32})
+			h := batchHello(kind, 211)
+			if !h.Spec.BatchKernel() {
+				t.Fatalf("spec %s should have a batch kernel", h.Spec)
+			}
+			syndromes := sampleSyndromes(t, s, h, 200, 17)
+			want := directResponses(t, s, h, syndromes)
+
+			c, err := Dial(s.Addr().String(), h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			got, err := c.Decode(syndromes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := checkAgainstDirect(got, want, kind); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := poolStatsFor(t, snap, poolKey(h))
+			if ps.BatchDecodes == 0 || ps.BatchLanes == 0 {
+				t.Fatalf("batch kernel never ran: %d decodes / %d lanes (decoded=%d)",
+					ps.BatchDecodes, ps.BatchLanes, ps.Decoded)
+			}
+			if ps.BatchLanes > ps.Decoded {
+				t.Fatalf("kernel lanes %d exceed decoded %d", ps.BatchLanes, ps.Decoded)
+			}
+		})
+	}
+}
+
+// TestBatchFastPathSampledRequests covers the server-sampled side
+// (msgSample, the one path that sets Response.Failed): the same session
+// replayed against a batch-enabled and a batch-disabled server must
+// produce identical responses — including the logical verdict, which the
+// fast path computes word-parallel from the lane words instead of a
+// scalar MulVec. Also pins the off switch: the disabled server's pool
+// must report zero kernel calls.
+func TestBatchFastPathSampledRequests(t *testing.T) {
+	for _, kind := range []string{"uf", "bp"} {
+		t.Run(kind, func(t *testing.T) {
+			fast := startServer(t, Options{PoolSize: 1, MaxBatch: 32})
+			slow := startServer(t, Options{PoolSize: 1, MaxBatch: 32, DisableBatchDecode: true})
+			h := batchHello(kind, 633)
+
+			run := func(s *Server) ([]Response, ServerSnapshot) {
+				c, err := Dial(s.Addr().String(), h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				pend, err := c.SubmitSample(150)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resps, err := pend.Wait()
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap, err := c.Stats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resps, snap
+			}
+			gotFast, snapFast := run(fast)
+			gotSlow, snapSlow := run(slow)
+
+			if len(gotFast) != len(gotSlow) {
+				t.Fatalf("response counts differ: %d vs %d", len(gotFast), len(gotSlow))
+			}
+			failures := 0
+			for i := range gotFast {
+				f, sl := gotFast[i], gotSlow[i]
+				if f.Success != sl.Success || f.Failed != sl.Failed || f.Iterations != sl.Iterations ||
+					f.FlipCount != sl.FlipCount || !bytes.Equal(f.ErrHat, sl.ErrHat) {
+					t.Fatalf("sampled response %d diverges between batch and scalar paths:\n got %+v\nwant %+v",
+						i, f, sl)
+				}
+				if f.Failed {
+					failures++
+				}
+			}
+			if failures == 0 {
+				t.Error("no logical failures over 150 sampled shots at p=0.02: Failed never exercised")
+			}
+			if ps := poolStatsFor(t, snapSlow, poolKey(h)); ps.BatchDecodes != 0 || ps.BatchLanes != 0 {
+				t.Fatalf("DisableBatchDecode server still ran the kernel: %+v", ps)
+			}
+			if ps := poolStatsFor(t, snapFast, poolKey(h)); ps.BatchDecodes == 0 {
+				t.Fatalf("batch server never used the kernel: %+v", ps)
+			}
+		})
+	}
+}
+
+// TestSpecBatchKernel pins the eligibility rule: only deterministic specs
+// with a per-lane bit-identical kernel may take the fast path.
+func TestSpecBatchKernel(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want bool
+	}{
+		{Spec{Kind: "uf"}, true},
+		{Spec{Kind: "bp", BPIters: 30}, true},
+		{Spec{Kind: "bp", BPIters: 30, Layered: true}, false},
+		{Spec{Kind: "bposd", BPIters: 30}, false},
+		{Spec{Kind: "bpsf", BPIters: 30, Phi: 12, WMax: 2, NS: 2}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.BatchKernel(); got != tc.want {
+			t.Errorf("BatchKernel(%s) = %v, want %v", tc.spec, got, tc.want)
+		}
+		if !tc.want {
+			if _, err := tc.spec.NewBatchDecoder(nil, nil); err == nil {
+				t.Errorf("NewBatchDecoder(%s) built a decoder for a scalar-only spec", tc.spec)
+			}
+		}
+	}
+}

@@ -47,6 +47,13 @@ type Options struct {
 	// TraceSlots is the retention capacity of the slowest-request trace
 	// ring served on /statusz (default 32).
 	TraceSlots int
+	// DisableBatchDecode turns off the bitsliced batch fast path (pools
+	// then decode every request scalar, as before PR8). The zero value
+	// keeps it enabled: it is response-byte-identical to the scalar path
+	// for every spec it covers (Spec.BatchKernel), so there is no
+	// correctness reason to opt out — the switch exists for performance
+	// A/B runs (bpsf-serve -no-batch-decode).
+	DisableBatchDecode bool
 	// Logf receives serve-loop diagnostics (nil = silent).
 	Logf func(format string, args ...interface{})
 }
@@ -307,11 +314,16 @@ func (s *Server) poolFor(h Hello) (*pool, error) {
 		}
 		priors := d.Priors(h.P)
 		mk := func() (sim.Decoder, error) { return h.Spec.NewDecoder(d.H, priors) }
-		e.p, e.err = newPool(key, d, mk, poolOptions{
+		popts := poolOptions{
 			size:       s.opts.PoolSize,
 			queueDepth: s.opts.QueueDepth,
 			maxBatch:   s.opts.MaxBatch,
-		})
+		}
+		if !s.opts.DisableBatchDecode && h.Spec.BatchKernel() {
+			spec := h.Spec
+			popts.mkBatch = func() (sim.BatchDecoder, error) { return spec.NewBatchDecoder(d.H, priors) }
+		}
+		e.p, e.err = newPool(key, d, mk, popts)
 		if e.err == nil {
 			s.opts.Logf("pool %s: %d warm decoders ready", key, s.opts.PoolSize)
 		}

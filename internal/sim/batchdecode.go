@@ -1,0 +1,213 @@
+package sim
+
+// Batch decoding threaded through the Monte-Carlo engine: 64-shot blocks
+// flow straight from the word-parallel samplers (frame.DEMSampler /
+// frame.CircuitSampler) into the bitsliced decode kernels (uf.NewBatch,
+// bp.NewBatch) without per-shot unpacking — syndromes stay detector-major
+// lane words end to end, and the logical verdict is computed word-parallel
+// for all 64 lanes with decoding.BatchMulInto.
+//
+// Determinism matches the scalar batch-sampling path exactly: the same
+// per-shard seeds drive the same samplers, shot i of a shard is lane
+// i mod 64 of block i/64, and the kernels are per-lane bit-identical to
+// their scalar decoders — so for the "uf" and "bp" registry entries a
+// batch-decode run and a scalar run over the batch sampler produce
+// identical Failures, Records and iteration counts for any Workers value
+// (locked down by the differential suite in batchdecode_test.go). The
+// quantized "bpq" entry trades that exactness for half the message
+// footprint and is held to the float path statistically instead.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bpsf/internal/bp"
+	"bpsf/internal/circuit"
+	"bpsf/internal/decoding"
+	"bpsf/internal/dem"
+	"bpsf/internal/frame"
+	"bpsf/internal/sparse"
+	"bpsf/internal/tanner"
+	"bpsf/internal/uf"
+)
+
+// BatchDecoder is the harness-facing batch decoder abstraction (alias of
+// decoding.BatchDecoder).
+type BatchDecoder = decoding.BatchDecoder
+
+// BatchOutcome is the unified 64-lane decode report (alias of
+// decoding.BatchOutcome).
+type BatchOutcome = decoding.BatchOutcome
+
+// ---- batch union-find ----
+
+type ufBatchAdapter struct {
+	d *uf.BatchDecoder
+}
+
+// NewUFBatch wraps the bitsliced batch union-find kernel. Per-lane
+// results are bit-identical to NewUF's scalar decoder on the same
+// syndrome.
+func NewUFBatch(h *sparse.Mat) BatchDecoder {
+	return &ufBatchAdapter{d: uf.NewBatch(h)}
+}
+
+func (a *ufBatchAdapter) Name() string { return "UF(batch)" }
+
+func (a *ufBatchAdapter) DecodeBatch(dets []uint64, shots int) BatchOutcome {
+	r := a.d.DecodeBatch(dets, shots)
+	out := BatchOutcome{SuccessMask: r.SuccessMask, Err: r.Err}
+	copy(out.Iterations[:], r.GrowthRounds)
+	return out
+}
+
+// ---- batch BP ----
+
+type bpBatchAdapter struct {
+	name string
+	d    *bp.BatchDecoder
+}
+
+// NewBPBatch wraps the structure-of-arrays batch BP kernel (flooding
+// min-sum; cfg.Quantized selects the Q6 fixed-point message variant).
+// The float path is per-lane bit-identical to NewBP's flooding decoder.
+func NewBPBatch(h *sparse.Mat, priors []float64, cfg bp.BatchConfig) BatchDecoder {
+	label := "BP"
+	if cfg.Quantized {
+		label = "BPQ"
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	return &bpBatchAdapter{
+		name: fmt.Sprintf("%s%d(batch)", label, cfg.MaxIter),
+		d:    bp.NewBatch(tanner.New(h), priors, cfg),
+	}
+}
+
+func (a *bpBatchAdapter) Name() string { return a.name }
+
+func (a *bpBatchAdapter) DecodeBatch(dets []uint64, shots int) BatchOutcome {
+	r := a.d.DecodeBatch(dets, shots)
+	out := BatchOutcome{SuccessMask: r.SuccessMask, Err: r.Err}
+	copy(out.Iterations[:], r.Iterations)
+	return out
+}
+
+// ---- batch constructor registry ----
+
+// BatchConstructors returns the registered batch decoder constructors,
+// keyed by the kind names the CLIs accept for -decode-batch runs. The
+// "uf" and "bp" kernels are per-lane bit-identical to their scalar
+// Constructors() counterparts; "bpq" is the quantized BP variant (no
+// scalar twin — it is held to "bp" statistically). The batch conformance
+// suite iterates this registry like the scalar one.
+func BatchConstructors() map[string]decoding.BatchFactory {
+	return map[string]decoding.BatchFactory{
+		"uf": func(h *sparse.Mat, priors []float64) (BatchDecoder, error) {
+			return NewUFBatch(h), nil
+		},
+		"bp": func(h *sparse.Mat, priors []float64) (BatchDecoder, error) {
+			return NewBPBatch(h, priors, bp.BatchConfig{MaxIter: 100}), nil
+		},
+		"bpq": func(h *sparse.Mat, priors []float64) (BatchDecoder, error) {
+			return NewBPBatch(h, priors, bp.BatchConfig{MaxIter: 100, Quantized: true}), nil
+		},
+	}
+}
+
+// BatchDecoderNames returns the sorted batch registry keys.
+func BatchDecoderNames() []string {
+	reg := BatchConstructors()
+	names := make([]string, 0, len(reg))
+	for k := range reg {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- engine wiring ----
+
+// batchDecodeShot builds the ShotFunc of a batch-decode shard: one
+// DecodeBatch per 64 sampled shots, with the per-lane outcomes (verdict,
+// iterations, amortized time) served in lane order. The logical verdict
+// is computed word-parallel: a lane fails if its Success bit is clear or
+// if its predicted observable flips (Obs·Err, via BatchMulInto) differ
+// from the sampled truth — the same rule as LogicalFailed, 64 shots per
+// word op.
+func batchDecodeShot(d *dem.DEM, dec BatchDecoder, sample func(*frame.Batch)) ShotFunc {
+	var blk frame.Batch
+	obsHat := make([]uint64, d.NumObs)
+	var out BatchOutcome
+	var failWord uint64
+	var laneTime time.Duration
+	lane := frame.BlockShots // force a refill on the first shot
+	return func() (Outcome, bool) {
+		if lane >= frame.BlockShots {
+			blk.Reset(d.NumDets, d.NumObs)
+			sample(&blk)
+			t0 := time.Now()
+			out = dec.DecodeBatch(blk.Dets, blk.Shots)
+			laneTime = time.Since(t0) / frame.BlockShots
+			decoding.BatchMulInto(d.Obs, out.Err, obsHat)
+			fail := ^out.SuccessMask
+			for o, w := range obsHat {
+				fail |= w ^ blk.Obs[o]
+			}
+			failWord = fail & blk.LaneMask()
+			lane = 0
+		}
+		l := lane
+		lane++
+		it := int(out.Iterations[l])
+		o := Outcome{
+			Success:            out.SuccessMask>>uint(l)&1 == 1,
+			Iterations:         it,
+			ParallelIterations: it,
+			InitIterations:     it,
+			Time:               laneTime,
+		}
+		return o, failWord>>uint(l)&1 == 1
+	}
+}
+
+// RunCircuitDecodeBatch evaluates a batch decoder on a detector error
+// model: shards sample 64-shot blocks word-parallel (frame.DEMSampler,
+// same shard seeds as the scalar batch path) and decode them with one
+// DecodeBatch call per block. Engine semantics are unchanged — shard
+// decomposition, seeds and the shot stream are pure functions of the
+// Config, so results are bit-identical for any Workers value.
+func RunCircuitDecodeBatch(d *dem.DEM, rounds int, mk decoding.BatchFactory, cfg Config) (*Result, error) {
+	sharder := func(shardSeed int64) (Shard, error) {
+		sampler := frame.NewDEMSampler(d, cfg.P, shardSeed)
+		dec, err := mk(d.H, sampler.Priors())
+		if err != nil {
+			return Shard{}, err
+		}
+		return Shard{Name: dec.Name(), Shot: batchDecodeShot(d, dec, sampler.SampleBlock)}, nil
+	}
+	return Run(cfg, rounds, sharder)
+}
+
+// RunCircuitFramesDecodeBatch is the fully word-parallel pipeline: shots
+// are sampled by propagating 64 Pauli frames through the circuit itself
+// (frame.CircuitSampler, as RunCircuitFrames) and decoded 64 lanes at a
+// time by a batch kernel — neither syndromes nor estimates are ever
+// unpacked per shot.
+func RunCircuitFramesDecodeBatch(circ *circuit.Circuit, d *dem.DEM, rounds int, mk decoding.BatchFactory, cfg Config) (*Result, error) {
+	if len(circ.Detectors) != d.NumDets || len(circ.Observables) != d.NumObs {
+		return nil, fmt.Errorf("sim: circuit geometry (%d dets, %d obs) does not match the DEM (%d, %d)",
+			len(circ.Detectors), len(circ.Observables), d.NumDets, d.NumObs)
+	}
+	sharder := func(shardSeed int64) (Shard, error) {
+		sampler := frame.NewCircuitSampler(circ, cfg.P, shardSeed)
+		dec, err := mk(d.H, d.Priors(cfg.P))
+		if err != nil {
+			return Shard{}, err
+		}
+		return Shard{Name: dec.Name(), Shot: batchDecodeShot(d, dec, sampler.SampleBlock)}, nil
+	}
+	return Run(cfg, rounds, sharder)
+}

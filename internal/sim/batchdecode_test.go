@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/decoding"
+	"bpsf/internal/frame"
+)
+
+// decodeBatchRecordsEqual asserts exact equality of the deterministic
+// record stream of two runs (verdicts and iteration counts; Time is
+// wall-clock and excluded).
+func decodeBatchRecordsEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Shots != b.Shots || a.Failures != b.Failures || a.AvgIters != b.AvgIters {
+		t.Fatalf("%s: aggregates differ: (shots=%d fails=%d iters=%g) vs (%d %d %g)",
+			label, a.Shots, a.Failures, a.AvgIters, b.Shots, b.Failures, b.AvgIters)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("%s: record counts differ: %d vs %d", label, len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.Failed != rb.Failed || ra.Iterations != rb.Iterations {
+			t.Fatalf("%s: record %d differs: (failed=%v iters=%d) vs (%v %d)",
+				label, i, ra.Failed, ra.Iterations, rb.Failed, rb.Iterations)
+		}
+	}
+}
+
+// TestRunCircuitDecodeBatchMatchesScalar is the end-to-end differential:
+// for the bit-exact registry entries ("uf", "bp"), a batch-decode run
+// over the DEM sampler must produce the IDENTICAL shot stream as the
+// scalar-decode batch-sampling path — same seeds drive the same samplers,
+// and the kernels are per-lane bit-identical — so every record's verdict
+// and iteration count matches exactly, not just statistically.
+func TestRunCircuitDecodeBatchMatchesScalar(t *testing.T) {
+	d := batchTestDEM(t)
+	for _, name := range []string{"uf", "bp"} {
+		cfg := Config{P: 0.02, Shots: 700, Seed: 9, Shards: 6, Workers: 2, KeepRecords: true}
+		cfg.Batch = true
+		scalar, err := RunCircuit(d, 2, Constructors()[name], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := RunCircuitDecodeBatch(d, 2, BatchConstructors()[name], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBatchRecordsEqual(t, name, scalar, batch)
+	}
+}
+
+// TestRunCircuitFramesDecodeBatchMatchesScalar: same exact-equality
+// differential on the fully word-parallel pipeline (CircuitSampler +
+// batch kernels) against RunCircuitFrames with the scalar decoders.
+func TestRunCircuitFramesDecodeBatchMatchesScalar(t *testing.T) {
+	circ, d := batchTestModel(t)
+	for _, name := range []string{"uf", "bp"} {
+		cfg := Config{P: 0.02, Shots: 700, Seed: 4, Shards: 6, Workers: 2, KeepRecords: true}
+		scalar, err := RunCircuitFrames(circ, d, 2, Constructors()[name], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := RunCircuitFramesDecodeBatch(circ, d, 2, BatchConstructors()[name], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBatchRecordsEqual(t, name, scalar, batch)
+	}
+}
+
+// TestRunCircuitDecodeBatchWorkerInvariance holds every registered batch
+// constructor to the engine's central determinism guarantee:
+// bit-identical results for any Workers value.
+func TestRunCircuitDecodeBatchWorkerInvariance(t *testing.T) {
+	d := batchTestDEM(t)
+	for _, name := range BatchDecoderNames() {
+		mk := BatchConstructors()[name]
+		var ref *Result
+		for _, workers := range []int{1, 3, 8} {
+			cfg := Config{P: 0.02, Shots: 500, Seed: 5, Shards: 8, Workers: workers, KeepRecords: true}
+			res, err := RunCircuitDecodeBatch(d, 2, mk, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			decodeBatchRecordsEqual(t, name, ref, res)
+		}
+	}
+}
+
+// TestRunCircuitDecodeBatchQuantizedEquivalence holds the quantized BP
+// entry ("bpq") to the float entry ("bp") statistically: a 6σ binomial
+// bound on the logical error rates under fixed seeds — the accuracy
+// contract the Q6 variant trades bit-exactness for.
+func TestRunCircuitDecodeBatchQuantizedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical equivalence run")
+	}
+	d := batchTestDEM(t)
+	const shots = 6000
+	cfg := Config{P: 0.02, Shots: shots, Seed: 3, Workers: 2}
+	float, err := RunCircuitDecodeBatch(d, 2, BatchConstructors()["bp"], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := RunCircuitDecodeBatch(d, 2, BatchConstructors()["bpq"], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := float64(float.Failures+quant.Failures) / float64(2*shots)
+	bound := 6*math.Sqrt(pool*(1-pool)*2/float64(shots)) + 2/float64(shots)
+	if diff := math.Abs(float.LER - quant.LER); diff > bound {
+		t.Errorf("quantized LER %g vs float LER %g differ by %g (bound %g)",
+			quant.LER, float.LER, diff, bound)
+	}
+	if float.Failures == 0 {
+		t.Error("no failures at p=0.02 over 6000 shots: suspiciously quiet")
+	}
+}
+
+// TestBatchConformanceResidualSyndrome extends the conformance suite to
+// the batch registry: for every batch constructor, on every successful
+// lane the estimate must reproduce the lane's syndrome exactly —
+// asserted word-parallel via BatchMulInto(H, Err) == dets on the lanes
+// of SuccessMask.
+func TestBatchConformanceResidualSyndrome(t *testing.T) {
+	d := batchTestDEM(t)
+	reg := BatchConstructors()
+	resid := make([]uint64, d.H.Rows())
+	for _, name := range BatchDecoderNames() {
+		dec, err := reg[name](d.H, d.Priors(0.02))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, seed := range []int64{1, 77} {
+			sampler := frame.NewDEMSampler(d, 0.02, seed)
+			var blk frame.Batch
+			converged := uint64(0)
+			for b := 0; b < 4; b++ {
+				blk.Reset(d.NumDets, d.NumObs)
+				sampler.SampleBlock(&blk)
+				out := dec.DecodeBatch(blk.Dets, blk.Shots)
+				decoding.BatchMulInto(d.H, out.Err, resid)
+				for r := range resid {
+					if bad := (resid[r] ^ blk.Dets[r]) & out.SuccessMask; bad != 0 {
+						t.Fatalf("%s (seed %d block %d): successful lanes %#x violate H·Err == dets at row %d",
+							name, seed, b, bad, r)
+					}
+				}
+				converged |= out.SuccessMask
+			}
+			if converged == 0 {
+				t.Errorf("%s (seed %d): no lane converged; the invariant was never exercised", name, seed)
+			}
+		}
+	}
+}
+
+// FuzzBatchSyndromeIngestion fuzzes raw detector-major words and a shot
+// count through every registered batch kernel: no panics, nothing emitted
+// in dead lanes, and the residual-syndrome invariant on every successful
+// lane.
+func FuzzBatchSyndromeIngestion(f *testing.F) {
+	css, err := codes.Get("rsurf3")
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := css.HZ
+	f.Add(int64(1), 64)
+	f.Add(int64(2), 1)
+	f.Add(int64(3), 37)
+	f.Add(int64(4), 0)
+	f.Add(int64(5), 200)
+	f.Add(int64(6), -3)
+	reg := BatchConstructors()
+	names := BatchDecoderNames()
+	priors := make([]float64, h.Cols())
+	for i := range priors {
+		priors[i] = 0.02
+	}
+	decs := make([]BatchDecoder, len(names))
+	for i, name := range names {
+		d, err := reg[name](h, priors)
+		if err != nil {
+			f.Fatal(err)
+		}
+		decs[i] = d
+	}
+	resid := make([]uint64, h.Rows())
+	f.Fuzz(func(t *testing.T, seed int64, shots int) {
+		rng := rand.New(rand.NewSource(seed))
+		dets := make([]uint64, h.Rows())
+		for i := range dets {
+			dets[i] = rng.Uint64()
+		}
+		live := decoding.LaneMask(shots)
+		for i, name := range names {
+			out := decs[i].DecodeBatch(dets, shots)
+			if out.SuccessMask&^live != 0 {
+				t.Fatalf("%s: dead lanes leaked into SuccessMask: %#x (shots=%d)",
+					name, out.SuccessMask, shots)
+			}
+			for j, w := range out.Err {
+				if w&^live != 0 {
+					t.Fatalf("%s: dead lanes carry estimate bits at col %d: %#x (shots=%d)",
+						name, j, w, shots)
+				}
+			}
+			decoding.BatchMulInto(h, out.Err, resid)
+			for r := range resid {
+				if bad := (resid[r] ^ dets[r]&live) & out.SuccessMask; bad != 0 {
+					t.Fatalf("%s: successful lanes %#x violate H·Err == dets at row %d (shots=%d)",
+						name, bad, r, shots)
+				}
+			}
+		}
+	})
+}

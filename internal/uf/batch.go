@@ -1,0 +1,581 @@
+package uf
+
+// Bitsliced batch decoding: 64 syndromes per call, one bit lane per shot,
+// consumed directly in the detector-major lane words frame.Batch samples
+// into (dets[d] bit s = detector d fired in shot s).
+//
+// The word-parallel stages process all 64 lanes per uint64 op:
+//
+//   - syndrome ingestion: one pass over the m detector words gathers every
+//     lane's defect list (in ascending detector order — the exact root
+//     order the scalar decoder derives from Vec.Support) and triages empty
+//     lanes to immediate success;
+//   - lane masking: the input is masked with the shots-lane validity word,
+//     so dead lanes of a ragged tail can never leak garbage in or out;
+//   - correction output: estimates accumulate as column-major lane words
+//     (Err[j] bit s = lane s flips column j), which callers verify and
+//     project word-parallel (decoding.BatchMulInto).
+//
+// Cluster growth and peeling themselves run lane-sequentially — the
+// per-lane growth ORDER is what the determinism contract (and hence
+// bit-identity with the scalar decoder) hangs on, and component parity is
+// not expressible as an OR/XOR diffusion across independent lanes — but
+// over epoch-versioned scratch: a lane only ever touches state
+// proportional to its cluster footprint, where the scalar decoder pays an
+// O(vertices) reset plus per-decode allocations for every shot. At
+// circuit-level error rates most lanes are empty or tiny, so amortized
+// per-shot cost collapses; that is where the ≥8× acceptance gate
+// (BenchmarkBatchDecode) comes from.
+//
+// Per-lane results are bit-identical to Decoder.Decode on the same
+// syndrome: same union tie-breaking, same edge insertion order, same
+// peeling forests, same ErrHat — locked down by the differential suite in
+// batch_test.go. Non-matchable graphs (hypergraph columns) fall back to a
+// private scalar decoder per lane behind the same interface, keeping the
+// word-parallel ingestion/output stages.
+
+import (
+	"math/bits"
+
+	"bpsf/internal/gf2"
+	"bpsf/internal/sparse"
+)
+
+// BatchLanes is the lane count of one batch word (= frame.BlockShots and
+// decoding.BatchLanes).
+const BatchLanes = 64
+
+// BatchResult is one 64-lane decode report.
+type BatchResult struct {
+	// SuccessMask bit s is lane s's Result.Success; dead lanes are 0.
+	SuccessMask uint64
+	// Err holds the per-lane estimates as column-major lane words: bit s
+	// of Err[j] set means lane s flips column j. It aliases a reusable
+	// kernel buffer valid until the next DecodeBatch — the batch analogue
+	// of the Result.ErrHat aliasing contract.
+	Err []uint64
+	// GrowthRounds[s] is lane s's Result.GrowthRounds. Like Err it aliases
+	// kernel scratch, valid until the next DecodeBatch.
+	GrowthRounds []int32
+	// Matchable echoes which extraction path the kernel runs.
+	Matchable bool
+}
+
+// BatchDecoder is the reusable bitsliced batch union-find decoder for one
+// parity-check matrix. Like Decoder it owns scratch buffers and must not
+// be shared across goroutines.
+type BatchDecoder struct {
+	m, n      int
+	matchable bool
+
+	// matchable topology (slice headers shared with the builder Decoder —
+	// immutable after construction)
+	edgeU, edgeV []int32
+	edgeCol      []int32
+	vertEdges    [][]int32
+
+	// epoch-versioned union-find state: an entry is live iff its stamp
+	// equals the current epoch, otherwise it reads as freshly reset. One
+	// epoch per decoded lane, so per-lane cost scales with the lane's
+	// cluster footprint instead of the vertex count.
+	epoch            uint32
+	vStamp           []uint32 // per-vertex
+	clGen            []uint32 // per-root cluster list generation
+	eStamp           []uint32 // per-edge "inGraph" stamp
+	parent, size     []int32
+	defects          []int32
+	hasBound, defect []bool
+	clVerts, clEdges [][]int32
+
+	// per-decode scratch mirroring the scalar decoder
+	roots       []int32
+	rootScratch []int32
+	snapshot    []int32
+	seen        []bool // invariant: all-false between uses
+	bfsOrder    []int32
+	parentEdge  []int32
+	parentVert  []int32
+	adjHead     []int32
+	edgeNextU   []int32
+	edgeNextV   []int32
+
+	// batch I/O
+	laneDefs [BatchLanes][]int32
+	errWords []uint64
+	rounds   []int32
+	prevSet  uint64 // lanes whose rounds entry is dirty from the last block
+	laneBit  uint64
+
+	// memoized decodes for light lanes: at circuit-level rates almost
+	// every fired lane carries a single-mechanism syndrome (≤ 2 defects),
+	// and a lane's decode is a pure function of its defect list, so those
+	// decodes are cached the first time they are seen (lookup decoding for
+	// low-weight syndromes). Entry key: u*m + v for the ascending defect
+	// pair (u,v), u*m + u for a single defect. Nil when m is too large to
+	// justify the dense table.
+	memo []memoEntry
+
+	// general-graph fallback: a private scalar decoder fed per lane
+	fallback *Decoder
+	synVec   gf2.Vec
+}
+
+// memoEntry caches one light-lane decode: the net flipped columns (also
+// the partial flips of a failed peel — callers get bit-identical output
+// either way), the growth rounds, and the verdict.
+type memoEntry struct {
+	cols   []int32
+	rounds int32
+	state  uint8 // 0 = unfilled, 1 = success, 2 = failure
+}
+
+// memoMaxChecks bounds the dense memo table: m² entries of 32 B. 256
+// checks → at most 2 MiB per decoder, and every capacity graph and every
+// small-distance DEM in the paper's evaluation sits far below it.
+const memoMaxChecks = 256
+
+// NewBatch builds a bitsliced batch decoder for parity-check matrix h.
+// The matchable fast path is selected exactly as in New (every column
+// weight ≤ 2); other matrices run the scalar general path per lane.
+func NewBatch(h *sparse.Mat) *BatchDecoder {
+	d := New(h)
+	b := &BatchDecoder{
+		m:         d.m,
+		n:         d.n,
+		matchable: d.matchable,
+		errWords:  make([]uint64, d.n),
+		rounds:    make([]int32, BatchLanes),
+	}
+	if b.m <= memoMaxChecks {
+		b.memo = make([]memoEntry, b.m*b.m)
+	}
+	if !b.matchable {
+		b.fallback = d
+		b.synVec = gf2.NewVec(b.m)
+		return b
+	}
+	b.edgeU, b.edgeV, b.edgeCol = d.edgeU, d.edgeV, d.edgeCol
+	b.vertEdges = d.vertEdges
+	nv := b.m + 1
+	ne := len(b.edgeCol)
+	b.vStamp = make([]uint32, nv)
+	b.clGen = make([]uint32, nv)
+	b.eStamp = make([]uint32, ne)
+	b.parent = make([]int32, nv)
+	b.size = make([]int32, nv)
+	b.defects = make([]int32, nv)
+	b.hasBound = make([]bool, nv)
+	b.defect = make([]bool, nv)
+	b.clVerts = make([][]int32, nv)
+	b.clEdges = make([][]int32, nv)
+	b.seen = make([]bool, nv)
+	b.parentEdge = make([]int32, nv)
+	b.parentVert = make([]int32, nv)
+	b.adjHead = make([]int32, nv)
+	b.edgeNextU = make([]int32, ne)
+	b.edgeNextV = make([]int32, ne)
+	return b
+}
+
+// Matchable reports whether the bitsliced growth/peeling path runs (vs
+// the per-lane general fallback).
+func (b *BatchDecoder) Matchable() bool { return b.matchable }
+
+// H returns the decoder's parity-check matrix... via the builder when on
+// the fallback path; the matchable path keeps only the edge form, so the
+// dimensions are exposed instead.
+func (b *BatchDecoder) Dims() (m, n int) { return b.m, b.n }
+
+// DecodeBatch decodes the first `shots` lanes of one detector-major
+// block: len(dets) must be the check count m. Dead lanes (≥ shots) are
+// masked out on ingestion and stay zero in SuccessMask and Err. Per-lane
+// results are bit-identical to Decoder.Decode on the lane's syndrome.
+func (b *BatchDecoder) DecodeBatch(dets []uint64, shots int) BatchResult {
+	if len(dets) != b.m {
+		panic("uf: batch syndrome length mismatch")
+	}
+	valid := laneMask(shots)
+	for i := range b.errWords {
+		b.errWords[i] = 0
+	}
+	// Only lanes decoded last block have dirty rounds entries.
+	for w := b.prevSet; w != 0; {
+		l := bits.TrailingZeros64(w)
+		w &= w - 1
+		b.rounds[l] = 0
+	}
+	res := BatchResult{Err: b.errWords, GrowthRounds: b.rounds, Matchable: b.matchable}
+
+	// Word-parallel ingestion: one pass over the detector words splits the
+	// block into per-lane defect lists, ascending by detector — the same
+	// seed order the scalar decoder reads off Vec.Support — and computes
+	// the union of fired lanes for the empty-lane triage. Defect lists are
+	// truncated lazily on a lane's first defect (`cleared`), so quiet
+	// blocks never pay for 64 header resets.
+	var any, cleared uint64
+	for d := 0; d < b.m; d++ {
+		w := dets[d] & valid
+		if w == 0 {
+			continue
+		}
+		any |= w
+		for w != 0 {
+			l := bits.TrailingZeros64(w)
+			w &= w - 1
+			if bit := uint64(1) << uint(l); cleared&bit == 0 {
+				cleared |= bit
+				b.laneDefs[l] = b.laneDefs[l][:0]
+			}
+			b.laneDefs[l] = append(b.laneDefs[l], int32(d))
+		}
+	}
+	res.SuccessMask = valid &^ any // empty lanes succeed with a zero estimate
+	b.prevSet = any
+
+	// Only fired lanes decode: empty lanes cost zero ops, which is where
+	// the amortized per-shot win comes from at low physical error rates.
+	for w := any; w != 0; {
+		l := bits.TrailingZeros64(w)
+		w &= w - 1
+		b.laneBit = uint64(1) << uint(l)
+		defs := b.laneDefs[l]
+
+		// Light lanes (≤ 2 defects — a single mechanism's syndrome, the
+		// overwhelming majority at operating rates) replay a memoized
+		// decode: a handful of word ops instead of growth + peeling.
+		if len(defs) <= 2 && b.memo != nil {
+			key := int(defs[0])*b.m + int(defs[len(defs)-1])
+			if ent := &b.memo[key]; ent.state != 0 {
+				for _, j := range ent.cols {
+					b.errWords[j] |= b.laneBit
+				}
+				b.rounds[l] = ent.rounds
+				if ent.state == 1 {
+					res.SuccessMask |= b.laneBit
+				}
+				continue
+			}
+			ok := b.decodeFullLane(defs, &b.rounds[l])
+			if ok {
+				res.SuccessMask |= b.laneBit
+			}
+			ent := &b.memo[key]
+			cols := ent.cols[:0]
+			for j, w := range b.errWords {
+				if w&b.laneBit != 0 {
+					cols = append(cols, int32(j))
+				}
+			}
+			ent.cols = cols
+			ent.rounds = b.rounds[l]
+			if ok {
+				ent.state = 1
+			} else {
+				ent.state = 2
+			}
+			continue
+		}
+
+		if b.decodeFullLane(defs, &b.rounds[l]) {
+			res.SuccessMask |= b.laneBit
+		}
+	}
+	return res
+}
+
+// decodeFullLane runs one lane through the full decoder — the matchable
+// bitsliced core or the scalar general fallback.
+func (b *BatchDecoder) decodeFullLane(defs []int32, rounds *int32) bool {
+	if b.matchable {
+		return b.decodeLane(defs, rounds)
+	}
+	return b.decodeLaneGeneral(defs, rounds)
+}
+
+// laneMask mirrors decoding.LaneMask (kept local so uf stays a leaf).
+func laneMask(shots int) uint64 {
+	if shots >= BatchLanes {
+		return ^uint64(0)
+	}
+	if shots <= 0 {
+		return 0
+	}
+	return (uint64(1) << uint(shots)) - 1
+}
+
+// ---- matchable per-lane core over epoch-versioned state ----
+
+// bumpEpoch opens a fresh logical reset. On the (astronomically rare)
+// wraparound every stamp array is cleared so stale epochs can't read as
+// live.
+func (b *BatchDecoder) bumpEpoch() {
+	b.epoch++
+	if b.epoch == 0 {
+		for i := range b.vStamp {
+			b.vStamp[i] = 0
+			b.clGen[i] = 0
+		}
+		for i := range b.eStamp {
+			b.eStamp[i] = 0
+		}
+		b.epoch = 1
+	}
+}
+
+// touch materializes vertex v at the current epoch with its reset state:
+// its own singleton cluster, no defects, boundary flag iff it is the
+// virtual boundary vertex (the scalar decoder sets hasBound[m] at decode
+// start; here it appears the moment the boundary is first reached).
+func (b *BatchDecoder) touch(v int32) {
+	if b.vStamp[v] != b.epoch {
+		b.vStamp[v] = b.epoch
+		b.parent[v] = v
+		b.size[v] = 1
+		b.defects[v] = 0
+		b.hasBound[v] = int(v) == b.m
+		b.defect[v] = false
+	}
+}
+
+// touchCluster materializes root r's cluster lists, reusing their
+// capacity: the scalar decoder's lazy nil-slice init, epoch style.
+func (b *BatchDecoder) touchCluster(r int32) {
+	if b.clGen[r] != b.epoch {
+		b.clGen[r] = b.epoch
+		b.clVerts[r] = append(b.clVerts[r][:0], r)
+		b.clEdges[r] = b.clEdges[r][:0]
+	}
+}
+
+func (b *BatchDecoder) find(v int32) int32 {
+	b.touch(v)
+	for b.parent[v] != v {
+		b.parent[v] = b.parent[b.parent[v]]
+		v = b.parent[v]
+	}
+	return v
+}
+
+func (b *BatchDecoder) vlist(r int32) []int32 {
+	b.touchCluster(r)
+	return b.clVerts[r]
+}
+
+// union mirrors Decoder.union: weighted by size, ties toward the smaller
+// root index.
+func (b *BatchDecoder) union(x, y int32) int32 {
+	ra, rb := b.find(x), b.find(y)
+	if ra == rb {
+		return ra
+	}
+	if b.size[ra] < b.size[rb] || (b.size[ra] == b.size[rb] && rb < ra) {
+		ra, rb = rb, ra
+	}
+	b.parent[rb] = ra
+	b.size[ra] += b.size[rb]
+	b.defects[ra] += b.defects[rb]
+	b.hasBound[ra] = b.hasBound[ra] || b.hasBound[rb]
+	b.clVerts[ra] = append(b.vlist(ra), b.vlist(rb)...)
+	b.clVerts[rb] = b.clVerts[rb][:0]
+	b.clEdges[ra] = append(b.clEdges[ra], b.clEdges[rb]...)
+	b.clEdges[rb] = b.clEdges[rb][:0]
+	return ra
+}
+
+// activeRoots mirrors Decoder.activeRoots (dedup via seen + insertion
+// sort ascending).
+func (b *BatchDecoder) activeRoots() []int32 {
+	out := b.rootScratch[:0]
+	for _, v := range b.roots {
+		r := b.find(v)
+		if !b.seen[r] {
+			b.seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, r := range out {
+		b.seen[r] = false
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	b.rootScratch = out
+	return out
+}
+
+// decodeLane decodes one lane's defect list (ascending detector order)
+// against the matchable graph, accumulating flips into the lane's bit of
+// errWords. It replays the scalar decoder's exact operation order.
+func (b *BatchDecoder) decodeLane(defs []int32, rounds *int32) bool {
+	b.bumpEpoch()
+	b.roots = b.roots[:0]
+	for _, c := range defs {
+		b.touch(c)
+		b.defect[c] = true
+		b.defects[c] = 1
+		b.roots = append(b.roots, c)
+	}
+	return b.growLane(rounds) && b.peelLane()
+}
+
+// growLane mirrors Decoder.growMatchable.
+func (b *BatchDecoder) growLane(rounds *int32) bool {
+	for {
+		roots := b.activeRoots()
+		anyActive, progress := false, false
+		for _, r := range roots {
+			if b.find(r) != r {
+				continue
+			}
+			if b.defects[r]%2 == 0 || b.hasBound[r] {
+				continue
+			}
+			anyActive = true
+			vs := append(b.snapshot[:0], b.vlist(r)...)
+			cur := r
+			for _, v := range vs {
+				for _, e := range b.vertEdges[v] {
+					if b.eStamp[e] == b.epoch {
+						continue
+					}
+					b.eStamp[e] = b.epoch
+					progress = true
+					cur = b.find(cur)
+					b.touchCluster(cur)
+					b.clEdges[cur] = append(b.clEdges[cur], e)
+					other := b.edgeU[e]
+					if other == v {
+						other = b.edgeV[e]
+					}
+					cur = b.union(cur, other)
+				}
+			}
+			b.snapshot = vs[:0]
+		}
+		if !anyActive {
+			// The terminal sweep did no unions after its activeRoots call,
+			// so b.rootScratch still holds the exact root set peelLane
+			// would recompute — it reuses it instead.
+			return true
+		}
+		if !progress {
+			return false
+		}
+		*rounds++
+	}
+}
+
+// peelLane mirrors Decoder.peelAll + peel, flipping the lane bit of the
+// column word instead of a Vec bit. It iterates the root set growLane's
+// terminal sweep left in rootScratch (the union-find is untouched since
+// that activeRoots call, so recomputing would yield the same list — the
+// scalar decoder pays that redundant pass, the batch kernel does not).
+func (b *BatchDecoder) peelLane() bool {
+	for _, r := range b.rootScratch {
+		if b.defects[r] == 0 {
+			continue
+		}
+		if !b.peel(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *BatchDecoder) peel(r int32) bool {
+	boundary := int32(b.m)
+	verts := b.vlist(r)
+	edgeU, edgeV := b.edgeU, b.edgeV
+	adjHead, nextU, nextV := b.adjHead, b.edgeNextU, b.edgeNextV
+	seen, defect := b.seen, b.defect
+
+	start := verts[0]
+	if b.hasBound[r] {
+		start = boundary
+	} else {
+		for _, v := range verts {
+			if v < start {
+				start = v
+			}
+		}
+	}
+
+	for _, v := range verts {
+		adjHead[v] = -1
+	}
+	for _, e := range b.clEdges[r] {
+		u, v := edgeU[e], edgeV[e]
+		nextU[e] = adjHead[u]
+		adjHead[u] = e<<1 | 0
+		nextV[e] = adjHead[v]
+		adjHead[v] = e<<1 | 1
+	}
+
+	order := append(b.bfsOrder[:0], start)
+	seen[start] = true
+	for qi := 0; qi < len(order); qi++ {
+		w := order[qi]
+		for it := adjHead[w]; it >= 0; {
+			e := it >> 1
+			var other, next int32
+			if it&1 == 0 {
+				other, next = edgeV[e], nextU[e]
+			} else {
+				other, next = edgeU[e], nextV[e]
+			}
+			if !seen[other] {
+				seen[other] = true
+				b.parentEdge[other] = e
+				b.parentVert[other] = w
+				order = append(order, other)
+			}
+			it = next
+		}
+	}
+
+	for i := len(order) - 1; i >= 1; i-- {
+		v := order[i]
+		if v == boundary || !defect[v] {
+			continue
+		}
+		e := b.parentEdge[v]
+		b.errWords[b.edgeCol[e]] ^= b.laneBit
+		defect[v] = false
+		if u := b.parentVert[v]; u != boundary {
+			defect[u] = !defect[u]
+		}
+	}
+	ok := start == boundary || !defect[start]
+	defect[start] = false
+
+	for _, v := range order {
+		seen[v] = false
+	}
+	b.bfsOrder = order[:0]
+	return ok
+}
+
+// ---- general-graph fallback ----
+
+// decodeLaneGeneral routes one lane through the private scalar decoder
+// (hypergraph growth + cluster-local elimination), scattering its
+// estimate into the lane's bit of the output words.
+func (b *BatchDecoder) decodeLaneGeneral(defs []int32, rounds *int32) bool {
+	b.synVec.Zero()
+	for _, c := range defs {
+		b.synVec.Set(int(c), true)
+	}
+	r := b.fallback.Decode(b.synVec)
+	for wi, w := range r.ErrHat.Words() {
+		base := wi * 64
+		for w != 0 {
+			j := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			b.errWords[j] |= b.laneBit
+		}
+	}
+	*rounds = int32(r.GrowthRounds)
+	return r.Success
+}

@@ -1,0 +1,85 @@
+package uf
+
+import (
+	"testing"
+
+	"bpsf/internal/codes"
+)
+
+// benchBlock packs the shared benchmark syndromes (benchSyndromes: d=5
+// rotated surface code, code capacity, p=0.01) into one detector-major
+// 64-lane block, so BenchmarkBatchDecode and BenchmarkUFDecode measure
+// the same per-shot workload.
+func benchBlock(b *testing.B) []uint64 {
+	b.Helper()
+	syndromes, _ := benchSyndromes(b)
+	c, err := codes.RotatedSurface5()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return packLanes(syndromes, c.HZ.Rows())
+}
+
+// BenchmarkBatchDecode measures the bitsliced batch union-find kernel
+// per shot on the rsurf5 gate workload. Compare with BenchmarkUFDecode:
+// the acceptance gate (TestBatchDecodeSpeedup) requires ≥ 8× per shot.
+func BenchmarkBatchDecode(b *testing.B) {
+	block := benchBlock(b)
+	c, _ := codes.RotatedSurface5()
+	d := NewBatch(c.HZ)
+	d.DecodeBatch(block, 64) // warm scratch capacities
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%BatchLanes == 0 {
+			d.DecodeBatch(block, BatchLanes)
+		}
+	}
+}
+
+// TestBatchDecodeSpeedup is the enforced acceptance gate: the batch
+// union-find kernel must decode ≥ 8× faster per shot than the scalar
+// decoder on the d=5 rotated-surface workload (same 64 syndromes, same
+// core, measured back to back via testing.Benchmark). Skipped under race
+// or coverage instrumentation, where timings are skewed; CI runs it in
+// the plain-mode gate step.
+func TestBatchDecodeSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-ratio gate")
+	}
+	if raceEnabled || testing.CoverMode() != "" {
+		t.Skip("benchmark-ratio gate: skewed under race/coverage instrumentation")
+	}
+	c, err := codes.RotatedSurface5()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := testing.Benchmark(func(b *testing.B) {
+		block := benchBlock(b)
+		d := NewBatch(c.HZ)
+		d.DecodeBatch(block, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%BatchLanes == 0 {
+				d.DecodeBatch(block, BatchLanes)
+			}
+		}
+	})
+	scalar := testing.Benchmark(func(b *testing.B) {
+		syndromes, _ := benchSyndromes(b)
+		d := New(c.HZ)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Decode(syndromes[i%len(syndromes)])
+		}
+	})
+	bns, sns := batch.NsPerOp(), scalar.NsPerOp()
+	if bns <= 0 || sns <= 0 {
+		t.Fatalf("degenerate timings: batch %d ns/shot, scalar %d ns/shot", bns, sns)
+	}
+	ratio := float64(sns) / float64(bns)
+	t.Logf("batch %d ns/shot, scalar %d ns/shot: %.1f× speedup", bns, sns, ratio)
+	if ratio < 8 {
+		t.Errorf("batch decode only %.1f× faster than scalar (acceptance floor 8×)", ratio)
+	}
+}

@@ -1,0 +1,240 @@
+package uf
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpsf/internal/codes"
+	"bpsf/internal/gf2"
+	"bpsf/internal/sparse"
+)
+
+// packLanes builds the detector-major lane words of up to 64 syndromes.
+func packLanes(syndromes []gf2.Vec, m int) []uint64 {
+	dets := make([]uint64, m)
+	for lane, s := range syndromes {
+		for _, d := range s.Support() {
+			dets[d] |= uint64(1) << uint(lane)
+		}
+	}
+	return dets
+}
+
+// randomSyndromeBlock samples 64 syndromes: consistent ones (H·e for a
+// random error of density p) interleaved with raw random detector
+// patterns (possibly inconsistent — failure lanes must mirror too).
+func randomSyndromeBlock(rng *rand.Rand, h *sparse.Mat, p float64) []gf2.Vec {
+	m, n := h.Rows(), h.Cols()
+	out := make([]gf2.Vec, 64)
+	for i := range out {
+		s := gf2.NewVec(m)
+		if i%4 == 3 {
+			for d := 0; d < m; d++ {
+				if rng.Float64() < p {
+					s.Set(d, true)
+				}
+			}
+		} else {
+			e := gf2.NewVec(n)
+			for q := 0; q < n; q++ {
+				if rng.Float64() < p {
+					e.Set(q, true)
+				}
+			}
+			h.MulVecInto(s, e)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestBatchMatchesScalar is the kernel-level differential suite: for the
+// capacity check matrices of the paper's codes (matchable surface/toric
+// graphs AND the hypergraph BB72, which exercises the general fallback),
+// every lane of DecodeBatch must be bit-identical to Decoder.Decode on
+// the same syndrome — Success, every estimate bit, and the growth-round
+// count, for consistent and inconsistent syndromes alike.
+func TestBatchMatchesScalar(t *testing.T) {
+	for _, name := range []string{"rsurf3", "rsurf5", "toric4", "bb72"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := codes.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := c.HZ
+			scalar := New(h)
+			batch := NewBatch(h)
+			if batch.Matchable() != scalar.Matchable() {
+				t.Fatalf("path mismatch: batch %v scalar %v", batch.Matchable(), scalar.Matchable())
+			}
+			rng := rand.New(rand.NewSource(int64(len(name)) * 7919))
+			for _, p := range []float64{0.01, 0.05, 0.15} {
+				blocks := 4
+				if name == "bb72" {
+					blocks = 1 // general path is slow; one block per density suffices
+				}
+				for blk := 0; blk < blocks; blk++ {
+					syndromes := randomSyndromeBlock(rng, h, p)
+					dets := packLanes(syndromes, h.Rows())
+					res := batch.DecodeBatch(dets, 64)
+					for lane, s := range syndromes {
+						want := scalar.Decode(s)
+						got := res.SuccessMask>>uint(lane)&1 == 1
+						if got != want.Success {
+							t.Fatalf("p=%g lane %d: batch success %v, scalar %v", p, lane, got, want.Success)
+						}
+						if int(res.GrowthRounds[lane]) != want.GrowthRounds {
+							t.Fatalf("p=%g lane %d: batch rounds %d, scalar %d",
+								p, lane, res.GrowthRounds[lane], want.GrowthRounds)
+						}
+						for j := 0; j < h.Cols(); j++ {
+							bbit := res.Err[j]>>uint(lane)&1 == 1
+							if bbit != want.ErrHat.Get(j) {
+								t.Fatalf("p=%g lane %d col %d: batch flip %v, scalar %v (success=%v)",
+									p, lane, j, bbit, want.ErrHat.Get(j), want.Success)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchRaggedTail decodes a 37-shot block whose dead lanes carry
+// saturated garbage: the kernel must mask them on ingestion (live lanes
+// bit-identical to a clean full-width decode) and emit nothing in them
+// (SuccessMask and every Err word zero at and beyond bit 37).
+func TestBatchRaggedTail(t *testing.T) {
+	c, err := codes.Get("rsurf5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.HZ
+	rng := rand.New(rand.NewSource(21))
+	syndromes := randomSyndromeBlock(rng, h, 0.08)
+	clean := packLanes(syndromes, h.Rows())
+
+	const shots = 37
+	live := laneMask(shots)
+	dirty := make([]uint64, len(clean))
+	for d := range dirty {
+		dirty[d] = clean[d]&live | ^live // garbage in every dead lane
+	}
+
+	ref := NewBatch(h).DecodeBatch(clean, 64)
+	refSuccess := ref.SuccessMask
+	refErr := append([]uint64(nil), ref.Err...)
+
+	res := NewBatch(h).DecodeBatch(dirty, shots)
+	if res.SuccessMask&^live != 0 {
+		t.Fatalf("dead lanes leaked into SuccessMask: %#x", res.SuccessMask)
+	}
+	if res.SuccessMask != refSuccess&live {
+		t.Fatalf("live-lane success %#x, want %#x", res.SuccessMask, refSuccess&live)
+	}
+	for j := range res.Err {
+		if res.Err[j]&^live != 0 {
+			t.Fatalf("col %d: dead lanes carry estimate bits %#x", j, res.Err[j])
+		}
+		if res.Err[j] != refErr[j]&live {
+			t.Fatalf("col %d: live lanes %#x, want %#x", j, res.Err[j], refErr[j]&live)
+		}
+	}
+}
+
+// TestBatchErrAliasing pins the BatchResult.Err buffer contract (the
+// batch analogue of Result.ErrHat): Err aliases kernel scratch, so it is
+// only valid until the next DecodeBatch — callers that retain estimates
+// must copy first.
+func TestBatchErrAliasing(t *testing.T) {
+	c, err := codes.Get("rsurf5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.HZ
+	d := NewBatch(h)
+	rng := rand.New(rand.NewSource(5))
+	s1 := packLanes(randomSyndromeBlock(rng, h, 0.1), h.Rows())
+	res1 := d.DecodeBatch(s1, 64)
+	kept := res1.Err // retained WITHOUT copying — the aliasing abuse
+	snap := append([]uint64(nil), res1.Err...)
+
+	empty := make([]uint64, h.Rows())
+	res2 := d.DecodeBatch(empty, 64)
+	if &kept[0] != &res2.Err[0] {
+		t.Fatalf("Err no longer aliases the kernel buffer; update the documented contract")
+	}
+	diff := false
+	for j := range kept {
+		if kept[j] != snap[j] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatalf("retained Err survived the next DecodeBatch; pick a block that flips something")
+	}
+}
+
+// TestResultErrHatAliasing is the scalar-side regression for the same
+// hazard (uf.Result.ErrHat documents "valid until the next Decode"):
+// retaining ErrHat across a Decode observes the next decode's estimate,
+// so every call site that keeps an estimate must copy before reusing the
+// decoder. The sim engine and the service pool both copy (resid.CopyFrom
+// / Response.ErrHat append) — this test keeps the trap visible.
+func TestResultErrHatAliasing(t *testing.T) {
+	c, err := codes.Get("rsurf5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(c.HZ)
+
+	e := gf2.NewVec(c.N)
+	e.Set(3, true)
+	s1 := c.SyndromeOfX(e)
+	res1 := d.Decode(s1)
+	if !res1.Success || res1.ErrHat.IsZero() {
+		t.Fatalf("seed decode did not produce a nonzero estimate")
+	}
+	kept := res1.ErrHat          // aliasing abuse: retained across Decode
+	saved := res1.ErrHat.Clone() // the correct idiom
+
+	res2 := d.Decode(gf2.NewVec(c.HZ.Rows())) // empty syndrome zeroes the buffer
+	if !res2.Success {
+		t.Fatal("empty syndrome must decode")
+	}
+	if !kept.IsZero() {
+		t.Fatalf("retained ErrHat kept its value across Decode; the aliasing contract changed")
+	}
+	if saved.IsZero() {
+		t.Fatalf("cloned estimate must survive decoder reuse")
+	}
+}
+
+// TestBatchZeroAllocSteadyState: after warm-up the matchable kernel must
+// not allocate — the allocation-free reuse is half of the per-shot win.
+func TestBatchZeroAllocSteadyState(t *testing.T) {
+	c, err := codes.Get("rsurf5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.HZ
+	d := NewBatch(h)
+	rng := rand.New(rand.NewSource(11))
+	blocks := make([][]uint64, 8)
+	for i := range blocks {
+		blocks[i] = packLanes(randomSyndromeBlock(rng, h, 0.1), h.Rows())
+	}
+	for _, blk := range blocks {
+		d.DecodeBatch(blk, 64) // warm the scratch capacities
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(64, func() {
+		d.DecodeBatch(blocks[i%len(blocks)], 64)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("matchable DecodeBatch allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

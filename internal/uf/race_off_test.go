@@ -1,0 +1,8 @@
+//go:build !race
+
+package uf
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary (build-tag counterpart in race_on_test.go). The
+// benchmark-ratio gate skips under instrumentation.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package uf
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary (build-tag counterpart in race_off_test.go).
+const raceEnabled = true
