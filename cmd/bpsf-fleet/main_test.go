@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseKill is the table-driven -kill validation: index@delay
+// parses, anything else errors.
+func TestParseKill(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    killSpec
+		wantErr bool
+	}{
+		{in: "1@2s", want: killSpec{index: 1, after: 2 * time.Second}},
+		{in: "0@500ms", want: killSpec{index: 0, after: 500 * time.Millisecond}},
+		{in: "2@0s", want: killSpec{index: 2, after: 0}},
+		{in: "1", wantErr: true},       // no delay
+		{in: "@2s", wantErr: true},     // no index
+		{in: "x@2s", wantErr: true},    // non-numeric index
+		{in: "-1@2s", wantErr: true},   // negative index
+		{in: "1@nope", wantErr: true},  // bad duration
+		{in: "1@-2s", wantErr: true},   // negative delay
+		{in: "1@2s@3s", wantErr: true}, // trailing garbage
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseKill(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%q: accepted as %+v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q: got %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"bpsf/internal/fleet"
+)
+
+// TestParseBackends is the table-driven -backend validation: repeated
+// flags and comma-separated lists both parse, names must be unique, and
+// malformed pairs error naming the expected shape.
+func TestParseBackends(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      []string
+		want    []fleet.BackendAddr
+		wantErr bool
+	}{
+		{
+			name: "repeated flags",
+			in:   []string{"b0=h0:7421", "b1=h1:7421"},
+			want: []fleet.BackendAddr{{Name: "b0", Addr: "h0:7421"}, {Name: "b1", Addr: "h1:7421"}},
+		},
+		{
+			name: "comma-separated in one flag",
+			in:   []string{"b0=h0:7421,b1=h1:7421"},
+			want: []fleet.BackendAddr{{Name: "b0", Addr: "h0:7421"}, {Name: "b1", Addr: "h1:7421"}},
+		},
+		{
+			name: "spaces and empty elements tolerated",
+			in:   []string{" b0=h0:7421 ,, b1=h1:7421 "},
+			want: []fleet.BackendAddr{{Name: "b0", Addr: "h0:7421"}, {Name: "b1", Addr: "h1:7421"}},
+		},
+		{name: "no backends at all", in: nil, wantErr: true},
+		{name: "only empty elements", in: []string{",,"}, wantErr: true},
+		{name: "missing separator", in: []string{"b0"}, wantErr: true},
+		{name: "empty name", in: []string{"=h0:7421"}, wantErr: true},
+		{name: "empty addr", in: []string{"b0="}, wantErr: true},
+		{name: "duplicate name across flags", in: []string{"b0=h0:7421", "b0=h1:7421"}, wantErr: true},
+		{name: "duplicate name within one flag", in: []string{"b0=h0:7421,b0=h1:7421"}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseBackends(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("accepted %v as %v", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

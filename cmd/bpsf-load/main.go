@@ -23,6 +23,11 @@
 //	bpsf-load -addr 127.0.0.1:7421 -mode open -rate 2000 -deadline 5ms -shots 20000
 //	bpsf-load -addr 127.0.0.1:7421 -code bb72 -batch off -batch-size 32
 //	bpsf-load -addr 127.0.0.1:7421 -profile bulk-bb72-bposd
+//
+// -addr may also point at a bpsf-gateway: the protocol is identical, a
+// -stats pull then returns the merged fleet snapshot with a per-backend
+// breakdown, and -min-backends N gates on the number of healthy backends
+// it reports (the CI fleet smoke's proof the traffic crossed a gateway).
 package main
 
 import (
@@ -143,6 +148,8 @@ func main() {
 		"after the run, pull the server's telemetry snapshot in-protocol (msgStats) and print it")
 	minBatchDecoded := flag.Int("min-batch-decoded", -1,
 		"exit nonzero unless the server's pools report at least this many requests decoded by the bitsliced batch kernel (-1 = no check; pulls a stats snapshot)")
+	minBackends := flag.Int("min-backends", -1,
+		"exit nonzero unless the target's stats snapshot reports at least this many healthy backends — the fleet-smoke gate proving traffic went through a gateway, not a bare server (-1 = no check)")
 	flag.Parse()
 
 	if *profile != "" {
@@ -217,6 +224,9 @@ func main() {
 		if *pullStats {
 			printServerStats(*addr, statsHello)
 		}
+		if *minBackends >= 0 {
+			checkMinBackends(*addr, statsHello, *minBackends)
+		}
 		return
 	}
 	sampling := "server-side batch sampling"
@@ -273,6 +283,42 @@ func main() {
 	}
 	if *minBatchDecoded >= 0 {
 		checkBatchDecoded(*addr, statsHello, *minBatchDecoded)
+	}
+	if *minBackends >= 0 {
+		checkMinBackends(*addr, statsHello, *minBackends)
+	}
+}
+
+// checkMinBackends pulls a stats snapshot and enforces a floor on the
+// number of healthy backends it reports. A bare bpsf-serve snapshot has
+// no backends section, so the gate also proves the load actually went
+// through a gateway; the per-backend breakdown prints either way.
+func checkMinBackends(addr string, h service.Hello, min int) {
+	c, err := service.Dial(addr, h)
+	if err != nil {
+		log.Fatalf("-min-backends stats session: %v", err)
+	}
+	defer c.Close()
+	snap, err := c.Stats()
+	if err != nil {
+		log.Fatalf("-min-backends stats pull: %v", err)
+	}
+	healthy := 0
+	for _, b := range snap.Backends {
+		state := "down"
+		if b.Healthy {
+			healthy++
+			state = "up"
+		}
+		if b.Draining {
+			state += ",draining"
+		}
+		fmt.Printf("backend %s (%s): %s sessions_total=%d requests=%d failovers=%d replayed=%d\n",
+			b.Name, b.Addr, state, b.SessionsTotal, b.Requests, b.Failovers, b.Replayed)
+	}
+	fmt.Printf("%d of %d backends healthy\n", healthy, len(snap.Backends))
+	if healthy < min {
+		log.Fatalf("%d healthy backends, floor %d (is %s a gateway?)", healthy, min, addr)
 	}
 }
 

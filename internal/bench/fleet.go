@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bpsf/internal/fleet"
+	"bpsf/internal/service"
+	"bpsf/internal/sim"
+)
+
+// fleetProfile is the workload the fleet area measures: the low-latency
+// edge mix, whose small batches make per-hop forwarding cost visible.
+const fleetProfile = "edge-rsurf5-uf"
+
+// RunFleet measures the gateway's forwarding overhead end to end: the
+// edge profile driven twice over loopback — direct against a single
+// PoolSize-2 server, then through a one-backend gateway fronting an
+// identical server — reporting throughput and the client-observed batch
+// RTT percentiles for both. The direct rows are the denominator: the
+// gateway rows' added p50/p99 over them is the routing + journaling +
+// double-hop tax a fleet deployment pays per batch, which is the number
+// this area pins into the trajectory (DESIGN.md §12).
+func RunFleet(cfg Config) (*Report, error) {
+	rep := NewReport("fleet")
+	prof, err := GetProfile(fleetProfile)
+	if err != nil {
+		return nil, err
+	}
+	lc := prof.LoadConfig(cfg.Seed, 0)
+	lc.Shots = cfg.serviceShots(prof)
+
+	srv := service.NewServer(service.Options{PoolSize: 2})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	direct, err := service.DriveLoad(srv.Addr().String(), lc)
+	srv.Drain(10 * time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fleet/%s/direct: %w", fleetProfile, err)
+	}
+	addFleetRows(rep, "direct", direct)
+
+	f, err := fleet.StartLocal(fleet.FleetOptions{
+		Backends: 1,
+		Server:   service.Options{PoolSize: 2},
+	})
+	if err != nil {
+		return nil, err
+	}
+	gated, err := service.DriveLoad(f.GatewayAddr(), lc)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bench: fleet/%s/gateway: %w", fleetProfile, err)
+	}
+	addFleetRows(rep, "gateway", gated)
+	return rep, nil
+}
+
+// addFleetRows records one leg's throughput and client-observed batch
+// RTT percentiles (the server-side latency is measured behind the
+// gateway and so cannot see the forwarding cost this area exists to
+// pin).
+func addFleetRows(rep *Report, leg string, res service.LoadResult) {
+	lat := sim.Summarize(res.ClientLat)
+	w := fmt.Sprintf("fleet/%s/%s", fleetProfile, leg)
+	rep.Add(w, MetricShotsPerSec, res.Throughput(), res.Decoded)
+	rep.Add(w, MetricP50Ns, float64(lat.P50.Nanoseconds()), lat.N)
+	rep.Add(w, MetricP99Ns, float64(lat.P99.Nanoseconds()), lat.N)
+}

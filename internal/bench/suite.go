@@ -50,7 +50,9 @@ func (c Config) serviceShots(p Profile) int {
 
 // Areas returns the pinned area names in run order; each produces one
 // BENCH_<area>.json.
-func Areas() []string { return []string{"sampler", "decode", "decode-batch", "window", "service"} }
+func Areas() []string {
+	return []string{"sampler", "decode", "decode-batch", "window", "service", "fleet"}
+}
 
 // Run measures one area.
 func Run(area string, cfg Config) (*Report, error) {
@@ -65,6 +67,8 @@ func Run(area string, cfg Config) (*Report, error) {
 		return RunWindow(cfg)
 	case "service":
 		return RunService(cfg, ServiceProfiles())
+	case "fleet":
+		return RunFleet(cfg)
 	default:
 		return nil, fmt.Errorf("bench: unknown area %q (areas: %v)", area, Areas())
 	}

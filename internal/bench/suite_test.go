@@ -76,8 +76,33 @@ func TestRunUnknownArea(t *testing.T) {
 	if _, err := Run("nope", tiny); err == nil || !strings.Contains(err.Error(), "areas:") {
 		t.Errorf("unknown area error = %v", err)
 	}
-	if len(Areas()) != 5 {
-		t.Errorf("Areas() = %v, want the five pinned areas", Areas())
+	if len(Areas()) != 6 {
+		t.Errorf("Areas() = %v, want the six pinned areas", Areas())
+	}
+}
+
+// TestRunFleet runs the fleet area end to end — a real loopback server
+// and a real one-backend gateway — and pins the direct/gateway workload
+// pair and their three metrics.
+func TestRunFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured suite")
+	}
+	rep, err := RunFleet(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Area != "fleet" {
+		t.Errorf("area = %q", rep.Area)
+	}
+	for _, leg := range []string{"direct", "gateway"} {
+		w := "fleet/" + fleetProfile + "/" + leg
+		for _, metric := range []string{MetricShotsPerSec, MetricP50Ns, MetricP99Ns} {
+			e, ok := rep.Lookup(w, metric)
+			if !ok || e.Value <= 0 {
+				t.Errorf("%s %s = %+v, %v", w, metric, e, ok)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,588 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpsf/internal/obs"
+	"bpsf/internal/service"
+)
+
+// BackendAddr names one backend for a gateway. Name is the stable
+// routing identity (rendezvous hashing keys on it, and it survives
+// restarts); Addr is the current dial target, mutable via
+// SetBackendAddr.
+type BackendAddr struct {
+	Name, Addr string
+}
+
+// GatewayOptions configures a Gateway. Zero values select the defaults
+// noted on each field.
+type GatewayOptions struct {
+	// Backends is the fixed backend registry (at least one).
+	Backends []BackendAddr
+	// StreamWindow/StreamCommit are the W and C the session hash key uses
+	// (routing happens at Hello time, before any StreamOpen names its own).
+	// They should match the backends' configuration (defaults 3 and 1,
+	// like service.Options).
+	StreamWindow int
+	StreamCommit int
+	// MaxSessionsPerBackend bounds the gateway's connection pool per
+	// backend; a full backend is skipped in the rendezvous ranking
+	// (default 64).
+	MaxSessionsPerBackend int
+	// MaxJournalBytes caps one session's replay journal. A session that
+	// outgrows it keeps working but becomes non-replayable: if its backend
+	// then dies the session is killed instead of failed over (default
+	// 8 MiB).
+	MaxJournalBytes int
+	// ProbeInterval paces the msgStats health prober (default 500ms;
+	// negative disables the background loop — tests and the orchestrator
+	// then call ProbeOnce themselves).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe round trip (default 2s).
+	ProbeTimeout time.Duration
+	// MaxFrame bounds one wire frame on both hops (default 16 MiB).
+	MaxFrame int
+	// Logf receives gateway diagnostics (nil = silent).
+	Logf func(format string, args ...interface{})
+}
+
+func (o GatewayOptions) withDefaults() GatewayOptions {
+	if o.StreamWindow <= 0 {
+		o.StreamWindow = 3
+	}
+	if o.StreamCommit <= 0 {
+		o.StreamCommit = 1
+	}
+	if o.MaxSessionsPerBackend <= 0 {
+		o.MaxSessionsPerBackend = 64
+	}
+	if o.MaxJournalBytes <= 0 {
+		o.MaxJournalBytes = 8 << 20
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = service.DefaultMaxFrame
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// backend is the gateway's per-backend state: routing eligibility,
+// counters, the persistent probe session and its last snapshot.
+type backend struct {
+	name string
+
+	mu       sync.Mutex
+	addr     string
+	healthy  bool
+	draining bool
+	probe    *service.Client
+	lastSnap service.ServerSnapshot
+	haveSnap bool
+
+	sessions      atomic.Int64
+	sessionsTotal atomic.Uint64
+	requests      atomic.Uint64
+	failovers     atomic.Uint64
+	replayed      atomic.Uint64
+}
+
+func (b *backend) getAddr() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.addr
+}
+
+func (b *backend) stats() service.BackendStats {
+	b.mu.Lock()
+	healthy, draining, addr := b.healthy, b.draining, b.addr
+	b.mu.Unlock()
+	return service.BackendStats{
+		Name:          b.name,
+		Addr:          addr,
+		Healthy:       healthy,
+		Draining:      draining,
+		Sessions:      b.sessions.Load(),
+		SessionsTotal: b.sessionsTotal.Load(),
+		Requests:      b.requests.Load(),
+		Failovers:     b.failovers.Load(),
+		Replayed:      b.replayed.Load(),
+	}
+}
+
+// Gateway is the fleet front door: one listener speaking the bpsf wire
+// protocol, proxying each accepted session onto a rendezvous-chosen
+// backend with journal-and-replay failover.
+type Gateway struct {
+	opts  GatewayOptions
+	start time.Time
+
+	backends []*backend
+	byName   map[string]*backend
+
+	ln       net.Listener
+	sessions sync.WaitGroup
+	draining atomic.Bool
+
+	sessionsTotal  atomic.Uint64
+	sessionsActive atomic.Int64
+	failoversTotal atomic.Uint64
+	replaysOK      atomic.Uint64
+	sessionsLost   atomic.Uint64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+
+	adminMu sync.Mutex
+	admin   *http.Server
+}
+
+// NewGateway builds a gateway over the given backend registry. Backends
+// start healthy-optimistic: routing discovers death on the first failed
+// dial, and the prober (if enabled) keeps the view fresh thereafter.
+func NewGateway(opts GatewayOptions) (*Gateway, error) {
+	opts = opts.withDefaults()
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("fleet: gateway needs at least one backend")
+	}
+	g := &Gateway{
+		opts:   opts,
+		start:  time.Now(),
+		byName: make(map[string]*backend),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	for _, ba := range opts.Backends {
+		if ba.Name == "" || ba.Addr == "" {
+			return nil, fmt.Errorf("fleet: backend needs a name and an address, got %+v", ba)
+		}
+		if g.byName[ba.Name] != nil {
+			return nil, fmt.Errorf("fleet: duplicate backend name %q", ba.Name)
+		}
+		be := &backend{name: ba.Name, addr: ba.Addr, healthy: true}
+		g.backends = append(g.backends, be)
+		g.byName[ba.Name] = be
+	}
+	if opts.ProbeInterval > 0 {
+		g.probeStop = make(chan struct{})
+		g.probeDone = make(chan struct{})
+		go g.probeLoop()
+	}
+	return g, nil
+}
+
+// Listen binds addr ("host:port"; port 0 picks a free port, see Addr)
+// and starts accepting client sessions in the background.
+func (g *Gateway) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	g.ln = ln
+	g.sessions.Add(1) // the accept loop itself
+	go g.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (g *Gateway) Addr() net.Addr {
+	if g.ln == nil {
+		return nil
+	}
+	return g.ln.Addr()
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.sessions.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed (Drain)
+		}
+		g.connMu.Lock()
+		g.conns[conn] = struct{}{}
+		g.connMu.Unlock()
+		g.sessions.Add(1)
+		go func() {
+			defer g.sessions.Done()
+			g.session(conn)
+			g.connMu.Lock()
+			delete(g.conns, conn)
+			g.connMu.Unlock()
+		}()
+	}
+}
+
+// Drain stops accepting, waits up to grace for live sessions, then
+// force-closes stragglers, the prober and the admin plane.
+func (g *Gateway) Drain(grace time.Duration) {
+	if !g.draining.CompareAndSwap(false, true) {
+		return
+	}
+	if g.ln != nil {
+		g.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		g.sessions.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		g.connMu.Lock()
+		n := len(g.conns)
+		for c := range g.conns {
+			c.Close()
+		}
+		g.connMu.Unlock()
+		g.opts.Logf("gateway drain: grace expired, closed %d live sessions", n)
+		<-done
+	}
+	if g.probeStop != nil {
+		close(g.probeStop)
+		<-g.probeDone
+	}
+	for _, be := range g.backends {
+		be.mu.Lock()
+		if be.probe != nil {
+			be.probe.Close()
+			be.probe = nil
+		}
+		be.mu.Unlock()
+	}
+	g.closeAdmin()
+}
+
+// SetBackendAddr repoints a backend (a restart moved it) and marks it
+// routable again.
+func (g *Gateway) SetBackendAddr(name, addr string) error {
+	be := g.byName[name]
+	if be == nil {
+		return fmt.Errorf("fleet: unknown backend %q", name)
+	}
+	be.mu.Lock()
+	if be.probe != nil {
+		be.probe.Close()
+		be.probe = nil
+	}
+	be.addr = addr
+	be.healthy = true
+	be.mu.Unlock()
+	return nil
+}
+
+// SetDraining toggles drain-aware rebalancing for one backend: a
+// draining backend keeps its live sessions but receives no new ones and
+// no failovers.
+func (g *Gateway) SetDraining(name string, draining bool) error {
+	be := g.byName[name]
+	if be == nil {
+		return fmt.Errorf("fleet: unknown backend %q", name)
+	}
+	be.mu.Lock()
+	be.draining = draining
+	be.mu.Unlock()
+	return nil
+}
+
+// markDown records that dialing or talking to a backend failed; the
+// prober flips it back once msgStats answers again.
+func (g *Gateway) markDown(be *backend, cause error) {
+	be.mu.Lock()
+	was := be.healthy
+	be.healthy = false
+	if be.probe != nil {
+		be.probe.Close()
+		be.probe = nil
+	}
+	be.mu.Unlock()
+	if was {
+		g.opts.Logf("backend %s down: %v", be.name, cause)
+	}
+}
+
+// eligible reports whether a backend may receive a new (or failed-over)
+// session right now.
+func (g *Gateway) eligible(be *backend) bool {
+	be.mu.Lock()
+	ok := be.healthy && !be.draining
+	be.mu.Unlock()
+	return ok && be.sessions.Load() < int64(g.opts.MaxSessionsPerBackend)
+}
+
+// rank returns the session key's full rendezvous ranking over the
+// registry; callers walk it and take the first eligible backend.
+func (g *Gateway) rank(key string) []*backend {
+	names := make([]string, len(g.backends))
+	for i, be := range g.backends {
+		names[i] = be.name
+	}
+	ranked := Rank(names, key)
+	out := make([]*backend, len(ranked))
+	for i, n := range ranked {
+		out[i] = g.byName[n]
+	}
+	return out
+}
+
+// ---- health probes ----
+
+// probeHello is the tiny session the health prober keeps open per
+// backend: the smallest catalog code under the cheapest decoder, so the
+// probe pool costs one warm UF decoder and shows up in backend stats
+// under a recognizable key.
+func probeHello() service.Hello {
+	return service.Hello{Code: "rsurf3", P: 0.001, Spec: service.Spec{Kind: "uf"}}
+}
+
+func (g *Gateway) probeLoop() {
+	defer close(g.probeDone)
+	t := time.NewTicker(g.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-t.C:
+			g.ProbeOnce()
+		}
+	}
+}
+
+// ProbeOnce health-checks every backend in parallel and returns when all
+// probes resolve: each backend answers a msgStats round trip within
+// ProbeTimeout (refreshing its cached snapshot) or is marked down. The
+// background loop calls this every ProbeInterval; tests and the
+// orchestrator call it directly for a deterministic view.
+func (g *Gateway) ProbeOnce() {
+	var wg sync.WaitGroup
+	for _, be := range g.backends {
+		wg.Add(1)
+		go func(be *backend) {
+			defer wg.Done()
+			g.probe(be)
+		}(be)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probe(be *backend) {
+	be.mu.Lock()
+	c := be.probe
+	addr := be.addr
+	be.mu.Unlock()
+	if c == nil {
+		var err error
+		c, err = service.Dial(addr, probeHello())
+		if err != nil {
+			g.markDown(be, fmt.Errorf("probe dial: %w", err))
+			return
+		}
+		be.mu.Lock()
+		be.probe = c
+		be.mu.Unlock()
+	}
+	snap, err := statsWithTimeout(c, g.opts.ProbeTimeout)
+	if err != nil {
+		g.markDown(be, fmt.Errorf("probe stats: %w", err))
+		return
+	}
+	be.mu.Lock()
+	if !be.healthy {
+		g.opts.Logf("backend %s healthy again", be.name)
+	}
+	be.healthy = true
+	be.lastSnap = snap
+	be.haveSnap = true
+	be.mu.Unlock()
+}
+
+// statsWithTimeout bounds one probe round trip: on timeout the client is
+// closed, which unblocks the in-flight Stats call.
+func statsWithTimeout(c *service.Client, d time.Duration) (service.ServerSnapshot, error) {
+	type result struct {
+		snap service.ServerSnapshot
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		snap, err := c.Stats()
+		ch <- result{snap, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.snap, r.err
+	case <-time.After(d):
+		c.Close()
+		<-ch
+		return service.ServerSnapshot{}, fmt.Errorf("fleet: probe timed out after %v", d)
+	}
+}
+
+// ---- fleet stats ----
+
+// BackendStats returns the per-backend routing counters, in registry
+// order.
+func (g *Gateway) BackendStats() []service.BackendStats {
+	out := make([]service.BackendStats, len(g.backends))
+	for i, be := range g.backends {
+		out[i] = be.stats()
+	}
+	return out
+}
+
+// Snapshot assembles the fleet-wide snapshot: every backend's last
+// probed ServerSnapshot merged (pool rows keyed "backend|pool"), plus
+// the gateway's Backends section. Uptime is the gateway's own.
+func (g *Gateway) Snapshot() service.ServerSnapshot {
+	return g.snapshotWith("", service.ServerSnapshot{})
+}
+
+// snapshotWith merges the fleet view, substituting an inline
+// just-received snapshot for the named backend — the intercepted-stats
+// path uses it so a session's own backend is exactly as fresh as a
+// direct msgStats would be (the reply still reflects everything the
+// session flushed before asking).
+func (g *Gateway) snapshotWith(inlineName string, inline service.ServerSnapshot) service.ServerSnapshot {
+	var parts []service.NamedSnapshot
+	for _, be := range g.backends {
+		if be.name == inlineName {
+			parts = append(parts, service.NamedSnapshot{Name: be.name, Snap: inline})
+			continue
+		}
+		be.mu.Lock()
+		if be.haveSnap {
+			parts = append(parts, service.NamedSnapshot{Name: be.name, Snap: be.lastSnap})
+		}
+		be.mu.Unlock()
+	}
+	m := service.MergeSnapshots(parts)
+	m.Uptime = time.Since(g.start)
+	m.Runtime = obs.ReadRuntime() // the gateway process answering the frame
+	m.SessionsTotal = g.sessionsTotal.Load()
+	m.SessionsActive = g.sessionsActive.Load()
+	m.Backends = g.BackendStats()
+	return m
+}
+
+// ---- admin plane ----
+
+// AdminHandler returns the gateway admin mux: /metrics with the
+// bpsf_backend_*{backend=} families plus the merged fleet sections,
+// /statusz with the fleet snapshot as JSON, and the standard profiler
+// endpoints. Hand-rolled mux, same rationale as the server's.
+func (g *Gateway) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/statusz", g.handleStatusz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin binds addr and serves the admin plane until Drain.
+func (g *Gateway) ServeAdmin(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: g.AdminHandler()}
+	g.adminMu.Lock()
+	g.admin = srv
+	g.adminMu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+func (g *Gateway) closeAdmin() {
+	g.adminMu.Lock()
+	srv := g.admin
+	g.admin = nil
+	g.adminMu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	p.Counter("bpsf_gateway_sessions_total", g.sessionsTotal.Load())
+	p.Gauge("bpsf_gateway_sessions_active", g.sessionsActive.Load())
+	p.Counter("bpsf_gateway_failovers_total", g.failoversTotal.Load())
+	p.Counter("bpsf_gateway_replays_ok_total", g.replaysOK.Load())
+	p.Counter("bpsf_gateway_sessions_lost_total", g.sessionsLost.Load())
+	for _, bs := range g.BackendStats() {
+		up := int64(0)
+		if bs.Healthy {
+			up = 1
+		}
+		draining := int64(0)
+		if bs.Draining {
+			draining = 1
+		}
+		p.Gauge(obs.Label("bpsf_backend_up", "backend", bs.Name), up)
+		p.Gauge(obs.Label("bpsf_backend_draining", "backend", bs.Name), draining)
+		p.Gauge(obs.Label("bpsf_backend_sessions", "backend", bs.Name), bs.Sessions)
+		p.Counter(obs.Label("bpsf_backend_sessions_total", "backend", bs.Name), bs.SessionsTotal)
+		p.Counter(obs.Label("bpsf_backend_requests_total", "backend", bs.Name), bs.Requests)
+		p.Counter(obs.Label("bpsf_backend_failovers_total", "backend", bs.Name), bs.Failovers)
+		p.Counter(obs.Label("bpsf_backend_replayed_frames_total", "backend", bs.Name), bs.Replayed)
+	}
+	// per-backend decode totals from the probed snapshots, then the merged
+	// fleet sections under the same families a single server exposes
+	for _, be := range g.backends {
+		be.mu.Lock()
+		snap, have := be.lastSnap, be.haveSnap
+		be.mu.Unlock()
+		if !have {
+			continue
+		}
+		var decoded, shed uint64
+		for _, ps := range snap.Pools {
+			decoded += ps.Decoded
+			shed += ps.ShedQueue + ps.ShedDeadline
+		}
+		p.Counter(obs.Label("bpsf_backend_decoded_total", "backend", be.name), decoded)
+		p.Counter(obs.Label("bpsf_backend_shed_total", "backend", be.name), shed)
+	}
+	snap := g.Snapshot()
+	for _, ps := range snap.Pools {
+		l := `{pool="` + ps.Pool + `"}`
+		p.Counter("bpsf_pool_admitted_total"+l, ps.Admitted)
+		p.Counter("bpsf_pool_decoded_total"+l, ps.Decoded)
+		p.Histogram("bpsf_pool_latency_seconds"+l, ps.Latency)
+	}
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		p.Histogram(`bpsf_stage_seconds{stage="`+st.String()+`"}`, snap.Stages.Stages[st])
+	}
+	p.Histogram("bpsf_request_seconds", snap.Stages.Total)
+}
+
+func (g *Gateway) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(g.Snapshot())
+}

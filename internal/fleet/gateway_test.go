@@ -1,0 +1,443 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bpsf/internal/gf2"
+	"bpsf/internal/service"
+)
+
+func testHello() service.Hello {
+	return service.Hello{Code: "rsurf3", P: 0.003, StreamSeed: 42,
+		Spec: service.Spec{Kind: "uf"}}
+}
+
+func startTestFleet(t *testing.T, n int, sopts service.Options) *Fleet {
+	t.Helper()
+	if sopts.PoolSize == 0 {
+		sopts.PoolSize = 1
+	}
+	f, err := StartLocal(FleetOptions{
+		Backends: n,
+		Server:   sopts,
+		Gateway:  GatewayOptions{ProbeInterval: -1, MaxSessionsPerBackend: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func startDirectServer(t *testing.T, sopts service.Options) string {
+	t.Helper()
+	if sopts.PoolSize == 0 {
+		sopts.PoolSize = 1
+	}
+	srv := service.NewServer(sopts)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Drain(0) })
+	return srv.Addr().String()
+}
+
+// sameResponses compares two response sequences for replay byte-identity:
+// everything except Latency (a measurement, masked by the canonical-frame
+// rule) must match.
+func sameResponses(t *testing.T, got, want []service.Response, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d responses, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Success != w.Success || g.Shed != w.Shed || g.Failed != w.Failed ||
+			g.Iterations != w.Iterations || g.FlipCount != w.FlipCount ||
+			!bytes.Equal(g.ErrHat, w.ErrHat) {
+			t.Fatalf("%s: response %d diverges:\n got %+v\nwant %+v", label, i, g, w)
+		}
+	}
+}
+
+// sampleBatches drives count SubmitSample batches on an open client and
+// returns the concatenated responses.
+func sampleBatches(t *testing.T, c *service.Client, count, per int) []service.Response {
+	t.Helper()
+	var out []service.Response
+	for i := 0; i < count; i++ {
+		p, err := c.SubmitSample(per)
+		if err != nil {
+			t.Fatalf("submit sample %d: %v", i, err)
+		}
+		resps, err := p.Wait()
+		if err != nil {
+			t.Fatalf("wait sample %d: %v", i, err)
+		}
+		out = append(out, resps...)
+	}
+	return out
+}
+
+// servingBackend finds the fleet member currently holding the (single)
+// routed session.
+func servingBackend(t *testing.T, f *Fleet) int {
+	t.Helper()
+	for i, bs := range f.Gateway().BackendStats() {
+		if bs.Sessions > 0 {
+			return i
+		}
+	}
+	t.Fatal("no backend holds a session")
+	return -1
+}
+
+// TestGatewaySessionMatchesDirect: an uninterrupted gateway session is
+// response-identical to the same session against a standalone server —
+// the proxy adds routing, not semantics.
+func TestGatewaySessionMatchesDirect(t *testing.T) {
+	f := startTestFleet(t, 2, service.Options{})
+	gc, err := service.Dial(f.GatewayAddr(), testHello())
+	if err != nil {
+		t.Fatalf("dial gateway: %v", err)
+	}
+	defer gc.Close()
+	viaGateway := sampleBatches(t, gc, 3, 5)
+
+	dc, err := service.Dial(startDirectServer(t, service.Options{}), testHello())
+	if err != nil {
+		t.Fatalf("dial direct: %v", err)
+	}
+	defer dc.Close()
+	direct := sampleBatches(t, dc, 3, 5)
+
+	sameResponses(t, viaGateway, direct, "gateway vs direct")
+	if lost := f.Gateway().sessionsLost.Load(); lost != 0 {
+		t.Fatalf("%d sessions lost on the happy path", lost)
+	}
+}
+
+// TestGatewayFailoverByteIdentical is the zero-loss contract end to end:
+// kill the serving backend mid-session and the session continues on
+// another backend, with the complete response stream identical to an
+// uninterrupted direct run — and the gateway's own canonical-frame hash
+// check (which kills the session on any replay divergence) passing.
+func TestGatewayFailoverByteIdentical(t *testing.T) {
+	f := startTestFleet(t, 3, service.Options{})
+	gc, err := service.Dial(f.GatewayAddr(), testHello())
+	if err != nil {
+		t.Fatalf("dial gateway: %v", err)
+	}
+	defer gc.Close()
+
+	got := sampleBatches(t, gc, 3, 4)
+	victim := servingBackend(t, f)
+	if err := f.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	// the session must survive the kill transparently: these batches ride
+	// the failed-over connection after a full journal replay
+	got = append(got, sampleBatches(t, gc, 3, 4)...)
+
+	dc, err := service.Dial(startDirectServer(t, service.Options{}), testHello())
+	if err != nil {
+		t.Fatalf("dial direct: %v", err)
+	}
+	defer dc.Close()
+	want := sampleBatches(t, dc, 6, 4)
+
+	sameResponses(t, got, want, "failed-over session vs uninterrupted direct")
+
+	g := f.Gateway()
+	if n := g.failoversTotal.Load(); n < 1 {
+		t.Fatalf("failovers counter %d, want >= 1", n)
+	}
+	if n := g.sessionsLost.Load(); n != 0 {
+		t.Fatalf("%d sessions lost", n)
+	}
+	if n := g.replaysOK.Load(); n < 1 {
+		t.Fatalf("replaysOK counter %d, want >= 1", n)
+	}
+	// stats through the gateway still work after failover and carry the
+	// fleet section, including the victim marked down
+	snap, err := gc.Stats()
+	if err != nil {
+		t.Fatalf("stats after failover: %v", err)
+	}
+	if len(snap.Backends) != 3 {
+		t.Fatalf("fleet snapshot carries %d backends, want 3", len(snap.Backends))
+	}
+	if snap.Backends[victim].Healthy {
+		t.Fatalf("killed backend %d still marked healthy", victim)
+	}
+	var replayed uint64
+	for _, bs := range snap.Backends {
+		replayed += bs.Replayed
+	}
+	if replayed == 0 {
+		t.Fatal("no backend reports replayed frames after a failover")
+	}
+}
+
+// TestGatewayStreamFailoverByteIdentical runs the windowed-stream plane
+// through a mid-stream kill: commits before and after the failover, and
+// the final accumulated correction, all match an uninterrupted direct
+// stream fed identical rounds.
+func TestGatewayStreamFailoverByteIdentical(t *testing.T) {
+	mkRounds := func(st *service.ClientStream) [][]gf2.Vec {
+		rounds := make([][]gf2.Vec, st.NumRounds())
+		for r := range rounds {
+			v := gf2.NewVec(st.RoundDets(r))
+			for j := 0; j < 3 && j < v.Len(); j++ {
+				v.Set((r*7+j*3)%v.Len(), true)
+			}
+			rounds[r] = []gf2.Vec{v}
+		}
+		return rounds
+	}
+	run := func(addr string, kill func(afterRound int)) service.StreamResult {
+		c, err := service.Dial(addr, testHello())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+		st, err := c.OpenStream(3, 1)
+		if err != nil {
+			t.Fatalf("open stream: %v", err)
+		}
+		rounds := mkRounds(st)
+		half := len(rounds) / 2
+		for r := 0; r < half; r++ {
+			if err := st.SendRounds(rounds[r]); err != nil {
+				t.Fatalf("send round %d: %v", r, err)
+			}
+		}
+		if kill != nil {
+			kill(half)
+		}
+		for r := half; r < len(rounds); r++ {
+			if err := st.SendRounds(rounds[r]); err != nil {
+				t.Fatalf("send round %d: %v", r, err)
+			}
+		}
+		res, err := st.Finish()
+		if err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		return res
+	}
+
+	f := startTestFleet(t, 3, service.Options{})
+	got := run(f.GatewayAddr(), func(int) {
+		if err := f.Kill(servingBackend(t, f)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	want := run(startDirectServer(t, service.Options{}), nil)
+
+	if got.Success != want.Success {
+		t.Fatalf("stream success %v, direct run says %v", got.Success, want.Success)
+	}
+	if !got.ErrHat.Equal(want.ErrHat) {
+		t.Fatal("accumulated stream correction diverges from the uninterrupted run")
+	}
+	if len(got.Commits) != len(want.Commits) {
+		t.Fatalf("%d commits, want %d", len(got.Commits), len(want.Commits))
+	}
+	for i := range got.Commits {
+		g, w := got.Commits[i], want.Commits[i]
+		if g.Window != w.Window || g.FirstRound != w.FirstRound || g.EndRound != w.EndRound ||
+			g.WindowSuccess != w.WindowSuccess || g.Final != w.Final ||
+			g.StreamSuccess != w.StreamSuccess || !bytes.Equal(g.Mechs, w.Mechs) {
+			t.Fatalf("commit %d diverges:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	if n := f.Gateway().sessionsLost.Load(); n != 0 {
+		t.Fatalf("%d sessions lost", n)
+	}
+}
+
+// TestRollingRestartZeroLoss: a rolling drain/restart under live load
+// sheds nothing — every shot decodes, no batch fails, no session is
+// lost.
+func TestRollingRestartZeroLoss(t *testing.T) {
+	f := startTestFleet(t, 3, service.Options{})
+	cfg := service.LoadConfig{
+		Code: "rsurf3", P: 0.003, Spec: service.Spec{Kind: "uf"},
+		Sessions: 2, Shots: 3000, BatchSize: 8,
+		ServerSample: true, Seed: 7,
+	}
+	loadDone := make(chan struct{})
+	var res service.LoadResult
+	var loadErr error
+	go func() {
+		defer close(loadDone)
+		res, loadErr = service.DriveLoad(f.GatewayAddr(), cfg)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the sessions route and start
+	if err := f.RollingRestart(30 * time.Millisecond); err != nil {
+		t.Fatalf("rolling restart: %v", err)
+	}
+	<-loadDone
+	if loadErr != nil {
+		t.Fatalf("load under rolling restart: %v", loadErr)
+	}
+	if res.FailedBatches != 0 || res.Shed != 0 {
+		t.Fatalf("rolling restart shed work: %+v", res)
+	}
+	if res.Decoded != cfg.Shots {
+		t.Fatalf("decoded %d of %d shots", res.Decoded, cfg.Shots)
+	}
+	if n := f.Gateway().sessionsLost.Load(); n != 0 {
+		t.Fatalf("%d sessions lost", n)
+	}
+}
+
+// TestGatewayStatsAggregation: a probed fleet snapshot merges pool rows
+// under backend-prefixed names and carries every backend's row.
+func TestGatewayStatsAggregation(t *testing.T) {
+	f := startTestFleet(t, 2, service.Options{})
+	gc, err := service.Dial(f.GatewayAddr(), testHello())
+	if err != nil {
+		t.Fatalf("dial gateway: %v", err)
+	}
+	defer gc.Close()
+	sampleBatches(t, gc, 2, 4)
+
+	f.Gateway().ProbeOnce() // populate every backend's cached snapshot
+	snap, err := gc.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if len(snap.Backends) != 2 {
+		t.Fatalf("fleet snapshot carries %d backends, want 2", len(snap.Backends))
+	}
+	var total int64
+	for _, bs := range snap.Backends {
+		if !bs.Healthy {
+			t.Fatalf("backend %s unhealthy in a live fleet", bs.Name)
+		}
+		total += bs.Sessions
+	}
+	if total != 1 {
+		t.Fatalf("fleet reports %d routed sessions, want 1", total)
+	}
+	foundSession := false
+	for _, ps := range snap.Pools {
+		if !strings.Contains(ps.Pool, "|") {
+			t.Fatalf("merged pool row %q lost its backend prefix", ps.Pool)
+		}
+		if strings.Contains(ps.Pool, "rsurf3/r3/p0.003") {
+			foundSession = true
+		}
+	}
+	if !foundSession {
+		t.Fatalf("session pool missing from merged snapshot: %+v", snap.Pools)
+	}
+	// the same snapshot renders per-backend rows in the human dump
+	var sb strings.Builder
+	snap.WriteText(&sb)
+	if !strings.Contains(sb.String(), "backend b0 ") || !strings.Contains(sb.String(), "backend b1 ") {
+		t.Fatalf("WriteText dropped the backends section:\n%s", sb.String())
+	}
+}
+
+// TestGatewayAdminMetrics: the admin plane exposes the per-backend
+// Prometheus families with backend labels, one series per member.
+func TestGatewayAdminMetrics(t *testing.T) {
+	f := startTestFleet(t, 2, service.Options{})
+	gc, err := service.Dial(f.GatewayAddr(), testHello())
+	if err != nil {
+		t.Fatalf("dial gateway: %v", err)
+	}
+	defer gc.Close()
+	sampleBatches(t, gc, 1, 4)
+	f.Gateway().ProbeOnce()
+
+	addr, err := f.Gateway().ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("admin: %v", err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`bpsf_backend_up{backend="b0"} 1`,
+		`bpsf_backend_up{backend="b1"} 1`,
+		`bpsf_backend_sessions{backend=`,
+		`bpsf_backend_requests_total{backend=`,
+		`bpsf_backend_decoded_total{backend=`,
+		"# TYPE bpsf_backend_up gauge",
+		"bpsf_gateway_sessions_total 1",
+		"bpsf_gateway_sessions_lost_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// one TYPE header per family even with two labelled series
+	if n := strings.Count(text, "# TYPE bpsf_backend_up "); n != 1 {
+		t.Fatalf("bpsf_backend_up emitted %d TYPE headers", n)
+	}
+}
+
+// TestGatewayHelloRejectionForwarded: a backend that rejects a Hello
+// (decoder kind not allowed) answers the client directly; the gateway
+// must not shop the rejection around or mark the backend down.
+func TestGatewayHelloRejectionForwarded(t *testing.T) {
+	f := startTestFleet(t, 2, service.Options{AllowedKinds: []string{"uf"}})
+	h := testHello()
+	h.Spec = service.Spec{Kind: "bp", BPIters: 10}
+	_, err := service.Dial(f.GatewayAddr(), h)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("disallowed kind dialed through a gateway: err=%v", err)
+	}
+	for _, bs := range f.Gateway().BackendStats() {
+		if !bs.Healthy {
+			t.Fatalf("backend %s marked down by a hello rejection", bs.Name)
+		}
+	}
+}
+
+// TestGatewayAllBackendsDead: with nothing to route to, the session is
+// refused with an error frame (not a hang or a bare close).
+func TestGatewayAllBackendsDead(t *testing.T) {
+	f := startTestFleet(t, 2, service.Options{})
+	f.Kill(0)
+	f.Kill(1)
+	_, err := service.Dial(f.GatewayAddr(), testHello())
+	if err == nil || !strings.Contains(err.Error(), "no eligible backend") {
+		t.Fatalf("dial against a dead fleet: err=%v", err)
+	}
+}
+
+// TestFleetRestartRejoins: a killed member restarted under the same name
+// becomes routable again at its new address.
+func TestFleetRestartRejoins(t *testing.T) {
+	f := startTestFleet(t, 2, service.Options{})
+	if err := f.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	f.Gateway().ProbeOnce()
+	snap := f.Gateway().Snapshot()
+	for _, bs := range snap.Backends {
+		if !bs.Healthy {
+			t.Fatalf("backend %s not healthy after restart", bs.Name)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package fleet is the multi-node decode fabric (DESIGN.md §12): a
+// gateway that speaks the bpsf wire protocol on the front and
+// rendezvous-routes sessions onto a set of bpsf-serve backends, with
+// health probing, drain-aware rebalancing, journal-and-replay failover,
+// and fleet-wide stats aggregation; plus an in-process orchestrator that
+// stands up loopback fleets for CI and dev.
+package fleet
+
+import "sort"
+
+// Rendezvous (highest-random-weight) hashing. Each (backend, key) pair
+// gets an independent pseudo-random score; a key routes to the highest
+// score among eligible backends. Adding or removing one backend only
+// moves the keys whose top score belonged to it — in expectation 1/N of
+// the corpus — which is the remap bound the stability tests pin. No
+// ring, no virtual nodes, no rebuild on membership change.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvAdd(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// Score is the rendezvous weight of key on backend: FNV-1a over the
+// backend name, a separator, and the key (the separator keeps
+// ("b1","x") and ("b","1x") distinct).
+func Score(backend, key string) uint64 {
+	h := fnvAdd(uint64(fnvOffset64), []byte(backend))
+	h = fnvAdd(h, []byte{0})
+	return fnvAdd(h, []byte(key))
+}
+
+// Rank orders backend names by descending Score for key, tie-broken by
+// name so the ranking is total. The full ranking (not just the winner)
+// is the failover order: when the top choice is down, draining, or full,
+// the session slides to the next, and every gateway ranks identically.
+func Rank(backends []string, key string) []string {
+	out := append([]string(nil), backends...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := Score(out[i], key), Score(out[j], key)
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Pick returns the top-ranked backend for key ("" when backends is
+// empty).
+func Pick(backends []string, key string) string {
+	if len(backends) == 0 {
+		return ""
+	}
+	best := backends[0]
+	bestScore := Score(best, key)
+	for _, b := range backends[1:] {
+		if s := Score(b, key); s > bestScore || (s == bestScore && b < best) {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Fleet aggregation helpers (DESIGN.md §12). A HistSnapshot carries its
+// raw power-of-two bucket counts precisely so that snapshots taken on
+// different processes can be summed: quantiles cannot be averaged, but
+// bucket counts add, and the merged quantiles recompute from the merged
+// buckets with the same factor-of-two accuracy as a single histogram.
+
+// MergeHist returns the histogram sum of a and b: bucket-wise counts,
+// exact min/max/sum/n, and quantiles recomputed from the merged buckets.
+// Either side may be empty (N == 0); merging with an empty snapshot is
+// the identity.
+func MergeHist(a, b HistSnapshot) HistSnapshot {
+	if a.N == 0 {
+		return b
+	}
+	if b.N == 0 {
+		return a
+	}
+	m := HistSnapshot{
+		N:   a.N + b.N,
+		Min: a.Min,
+		Max: a.Max,
+		Sum: a.Sum + b.Sum,
+	}
+	if b.Min < m.Min {
+		m.Min = b.Min
+	}
+	if b.Max > m.Max {
+		m.Max = b.Max
+	}
+	for i := range m.Buckets {
+		m.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+	}
+	m.Avg = m.Sum / time.Duration(m.N)
+	m.P50 = bucketQuantile(m.Buckets, uint64(m.N), m.Max, 0.5)
+	m.P95 = bucketQuantile(m.Buckets, uint64(m.N), m.Max, 0.95)
+	m.P99 = bucketQuantile(m.Buckets, uint64(m.N), m.Max, 0.99)
+	m.P999 = bucketQuantile(m.Buckets, uint64(m.N), m.Max, 0.999)
+	return m
+}
+
+// bucketQuantile reports quantile q from power-of-two bucket counts: the
+// upper edge of the bucket holding the rank, clamped to the observed max
+// for the open-ended top bucket (the same rule HistData.Snapshot applies).
+func bucketQuantile(buckets [NumBuckets]uint64, n uint64, max time.Duration, q float64) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(n-1))
+	var cum uint64
+	for b, c := range buckets {
+		cum += c
+		if cum > rank {
+			if b == 0 {
+				return 0
+			}
+			upper := time.Duration(uint64(1) << uint(b))
+			if b == NumBuckets-1 || upper > max {
+				upper = max
+			}
+			return upper
+		}
+	}
+	return max
+}
+
+// MergeStages merges two stage snapshots histogram by histogram.
+func MergeStages(a, b StageSnapshot) StageSnapshot {
+	var m StageSnapshot
+	for st := 0; st < int(NumStages); st++ {
+		m.Stages[st] = MergeHist(a.Stages[st], b.Stages[st])
+	}
+	m.Total = MergeHist(a.Total, b.Total)
+	return m
+}
+
+// Label appends one label pair to a metric name, composing with any label
+// block already present — the builder behind fleet-labelled families like
+// bpsf_backend_decoded_total{backend="b0"}. Values are quoted with %q, so
+// arbitrary backend names stay well-formed exposition.
+func Label(name, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + pair + "}"
+	}
+	return name + "{" + pair + "}"
+}

@@ -2,12 +2,35 @@ package service
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"syscall"
 
 	"bpsf/internal/gf2"
 )
+
+// ErrBackendClosed marks a session lost because the server side of the
+// connection went away mid-session — the backend died, was killed, or
+// force-closed the socket. Callers that redial (the gateway's failover
+// path, bpsf-load against a fleet) match it with errors.Is to separate
+// backend death from their own Close and from protocol errors, which are
+// never worth a replay.
+var ErrBackendClosed = errors.New("service: backend closed connection")
+
+// classifyRecvErr wraps a recvLoop read error: connection-loss shapes
+// (EOF at or inside a frame, reset, broken pipe) become ErrBackendClosed;
+// net.ErrClosed stays plain because it means this side hung up.
+func classifyRecvErr(err error) error {
+	if !errors.Is(err, net.ErrClosed) &&
+		(errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+			errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)) {
+		return fmt.Errorf("%w: %v", ErrBackendClosed, err)
+	}
+	return fmt.Errorf("service: session lost: %w", err)
+}
 
 // Client is one decode session. Submit pipelines batches (any number may
 // be in flight, bounded by the server's per-session pipeline depth);
@@ -278,7 +301,7 @@ func (c *Client) recvLoop() {
 	for {
 		payload, err := readFrame(c.br, c.maxFrame)
 		if err != nil {
-			c.fail(fmt.Errorf("service: session lost: %w", err))
+			c.fail(classifyRecvErr(err))
 			return
 		}
 		switch payload[0] {

@@ -42,6 +42,11 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			Latency: statsHist.Snapshot()}},
 		Streams: StreamStats{Opened: 1, Windows: 2, Latency: statsHist.Snapshot()},
 		Traces:  []obs.Trace{{End: 99, Total: time.Millisecond}},
+		Backends: []BackendStats{
+			{Name: "b0", Addr: "127.0.0.1:9000", Healthy: true, Sessions: 1,
+				SessionsTotal: 3, Requests: 40, Failovers: 1, Replayed: 12},
+			{Name: "b1", Addr: "127.0.0.1:9001", Draining: true},
+		},
 	}), uint8(7))
 	f.Add([]byte{}, uint8(0))
 	f.Add([]byte{msgBatch, 0xff}, uint8(255))

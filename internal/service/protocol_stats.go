@@ -185,6 +185,27 @@ func appendStatsReply(b []byte, snap ServerSnapshot) []byte {
 			b = appendI64(b, int64(tr.Stages[st]))
 		}
 	}
+
+	b = appendU16(b, uint16(len(snap.Backends)))
+	for _, bs := range snap.Backends {
+		b = appendU16(b, uint16(len(bs.Name)))
+		b = append(b, bs.Name...)
+		b = appendU16(b, uint16(len(bs.Addr)))
+		b = append(b, bs.Addr...)
+		var flags byte
+		if bs.Healthy {
+			flags |= 1
+		}
+		if bs.Draining {
+			flags |= 2
+		}
+		b = append(b, flags)
+		b = appendI64(b, bs.Sessions)
+		b = appendU64(b, bs.SessionsTotal)
+		b = appendU64(b, bs.Requests)
+		b = appendU64(b, bs.Failovers)
+		b = appendU64(b, bs.Replayed)
+	}
 	return b
 }
 
@@ -276,6 +297,33 @@ func parseStatsReply(payload []byte) (ServerSnapshot, error) {
 			return snap, r.err
 		}
 		snap.Traces = append(snap.Traces, tr)
+	}
+
+	numBackends := int(r.u16())
+	if r.err != nil {
+		return snap, r.err
+	}
+	for i := 0; i < numBackends; i++ {
+		var bs BackendStats
+		bs.Name = string(r.bytes(int(r.u16())))
+		bs.Addr = string(r.bytes(int(r.u16())))
+		flags := r.u8()
+		if r.err == nil && flags&^byte(3) != 0 {
+			// reject unknown flag bits so the encoding stays canonical
+			// (encode∘parse identity, like the sparse histograms)
+			return snap, fmt.Errorf("service: backend stats with unknown flags %#x", flags)
+		}
+		bs.Healthy = flags&1 != 0
+		bs.Draining = flags&2 != 0
+		bs.Sessions = r.i64()
+		bs.SessionsTotal = r.u64()
+		bs.Requests = r.u64()
+		bs.Failovers = r.u64()
+		bs.Replayed = r.u64()
+		if r.err != nil {
+			return snap, r.err
+		}
+		snap.Backends = append(snap.Backends, bs)
 	}
 	if r.rest() != 0 {
 		return snap, fmt.Errorf("service: stats reply carries %d trailing bytes", r.rest())

@@ -38,6 +38,32 @@ type ServerSnapshot struct {
 	StreamStages obs.StageSnapshot
 	// Traces are the slowest retained request traces, slowest first.
 	Traces []obs.Trace
+	// Backends is the fleet section: per-backend routing counters, present
+	// only in snapshots assembled by a gateway (DESIGN.md §12). A single
+	// bpsf-serve leaves it empty.
+	Backends []BackendStats
+}
+
+// BackendStats is one backend's row in a gateway's fleet snapshot.
+type BackendStats struct {
+	// Name is the stable routing identity (rendezvous hashing keys on it);
+	// Addr is the current dial target, which a restart may change.
+	Name, Addr string
+	// Healthy reflects the last msgStats probe; Draining means the backend
+	// is excluded from new-session routing but keeps serving live ones.
+	Healthy  bool
+	Draining bool
+	// Sessions is the live gateway-routed session count; SessionsTotal
+	// counts every session ever routed here, including failover arrivals.
+	Sessions      int64
+	SessionsTotal uint64
+	// Requests counts request frames forwarded (batch, sample, stream
+	// open/rounds — not stats probes). Failovers counts sessions that left
+	// because the backend died; Replayed counts journaled frames re-driven
+	// onto this backend to resume such sessions.
+	Requests  uint64
+	Failovers uint64
+	Replayed  uint64
 }
 
 // Snapshot assembles the server's full telemetry snapshot.
@@ -63,6 +89,17 @@ func (snap ServerSnapshot) WriteText(w io.Writer) {
 		snap.Runtime.Goroutines, fmtBytes(snap.Runtime.HeapAlloc))
 	fmt.Fprintf(w, "gc: %d cycles, %v paused total, last %v\n",
 		snap.Runtime.NumGC, snap.Runtime.GCPauseTotal, snap.Runtime.LastGCPause)
+	for _, bs := range snap.Backends {
+		state := "up"
+		if !bs.Healthy {
+			state = "down"
+		}
+		if bs.Draining {
+			state += ",draining"
+		}
+		fmt.Fprintf(w, "backend %s (%s): %s sessions=%d total=%d requests=%d failovers=%d replayed=%d\n",
+			bs.Name, bs.Addr, state, bs.Sessions, bs.SessionsTotal, bs.Requests, bs.Failovers, bs.Replayed)
+	}
 	for _, ps := range snap.Pools {
 		fmt.Fprintf(w, "pool %s: size=%d admitted=%d decoded=%d shed=%d/%d batches=%d avg_batch=%.2f kernel_batches=%d kernel_lanes=%d busy=%v\n",
 			ps.Pool, ps.Size, ps.Admitted, ps.Decoded, ps.ShedQueue, ps.ShedDeadline,
