@@ -67,7 +67,7 @@ func main() {
 	listen := flag.String("listen", ":7430", "client-facing listen address")
 	admin := flag.String("admin", "", "admin/telemetry HTTP listen address serving /metrics, /statusz and /debug/pprof (empty = off)")
 	var backendVals []string
-	flag.Func("backend", "backend as name=host:port (repeatable, or comma-separated)", func(v string) error {
+	flag.Func("backend", "backend as name=addr (host:port, unix:<path>, or a socket path; repeatable or comma-separated)", func(v string) error {
 		backendVals = append(backendVals, v)
 		return nil
 	})
@@ -78,6 +78,8 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "backend health probe period")
 	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "backend health probe round-trip bound")
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "session grace period on shutdown")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop a session whose client sends nothing for this long (client hop only; 0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "drop a session whose client stops reading replies (per frame write; 0 = never)")
 	quiet := flag.Bool("quiet", false, "suppress per-session and failover log lines")
 	flag.Parse()
 
@@ -100,6 +102,8 @@ func main() {
 		MaxJournalBytes:       *maxJournal,
 		ProbeInterval:         *probeInterval,
 		ProbeTimeout:          *probeTimeout,
+		IdleTimeout:           *idleTimeout,
+		WriteTimeout:          *writeTimeout,
 		Logf:                  logf,
 	})
 	if err != nil {

@@ -117,7 +117,7 @@ func failAll(errs []error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bpsf-load: ")
-	addr := flag.String("addr", "127.0.0.1:7421", "server address")
+	addr := flag.String("addr", "127.0.0.1:7421", "server address (host:port, unix:<path>, or a Unix socket path)")
 	codeName := flag.String("code", "bb144", "code: "+fmt.Sprint(codes.Names()))
 	rounds := flag.Int("rounds", 0, "extraction rounds (0 = code default)")
 	p := flag.Float64("p", 0.003, "physical error rate")

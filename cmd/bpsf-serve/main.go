@@ -35,6 +35,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bpsf-serve: ")
 	addr := flag.String("addr", ":7421", "listen address")
+	uds := flag.String("uds", "", "also listen on a Unix-domain socket at this path (co-located clients skip the TCP stack; a stale socket file is removed first)")
 	admin := flag.String("admin", "", "admin/telemetry HTTP listen address serving /metrics, /statusz and /debug/pprof (empty = off)")
 	poolSize := flag.Int("pool-size", runtime.NumCPU(), "warm decoders per pool")
 	queueDepth := flag.Int("queue-depth", 1024, "admission queue bound per pool")
@@ -43,6 +44,8 @@ func main() {
 	windowRounds := flag.Int("window", 3, "default sliding-window size for streams opened without one")
 	commitRounds := flag.Int("commit", 1, "default committed rounds per stream window")
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "session grace period on shutdown")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop a session whose client sends nothing for this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "drop a session whose client stops reading replies for this long per flush (0 = never)")
 	statsEvery := flag.Duration("stats", 0, "periodic stats interval (0 = only on exit)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 	noBatchDecode := flag.Bool("no-batch-decode", false,
@@ -67,12 +70,25 @@ func main() {
 		AllowedKinds: allowed,
 		StreamWindow: *windowRounds,
 		StreamCommit: *commitRounds,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
 		Logf:         logf,
 
 		DisableBatchDecode: *noBatchDecode,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
+	}
+	if *uds != "" {
+		// a socket file left by a dead previous run would fail the bind;
+		// Remove only ever unlinks the path, never a live listener's state
+		if err := os.Remove(*uds); err != nil && !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+		if err := srv.ListenUnix(*uds); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("also listening on unix socket %s", *uds)
 	}
 	log.Printf("listening on %s (pool-size=%d queue-depth=%d max-batch=%d stream-window=%d commit=%d)",
 		srv.Addr(), *poolSize, *queueDepth, *maxBatch, *windowRounds, *commitRounds)

@@ -13,13 +13,25 @@ type Tolerance struct {
 	// fingerprints differ: absolute nanoseconds are only tightly
 	// comparable within a host class, while allocs stay exact everywhere.
 	CrossHostSlack float64
+	// TailSlack multiplies Frac for p99 entries measured over fewer than
+	// TailN samples (on either side of the comparison). An empirical p99
+	// over n samples is an order statistic drawn from the top n/100
+	// observations — at n=256 it is pinned by the 2–3 worst RTTs, so
+	// run-to-run ratios of 2–3× are ordinary scheduler noise, not
+	// regressions (observed directly on the fleet area, whose smoke legs
+	// drive a few hundred batches). Medians and means at the same n stay
+	// tightly banded; only the tail estimator loses resolution. TailN == 0
+	// disables the widening (custom Tolerance values keep old behaviour).
+	TailSlack float64
+	TailN     int
 }
 
 // DefaultTolerance is the calibrated band: 75% absorbs scheduler and
 // turbo noise on one host class while an injected 2× slowdown (+100%)
 // still fails; cross-host runs widen time bands 4× and keep allocation
-// regressions exact.
-var DefaultTolerance = Tolerance{Frac: 0.75, CrossHostSlack: 4}
+// regressions exact; p99 entries with under 1024 samples widen 4× because
+// the empirical tail wobbles by integer sample ranks at that depth.
+var DefaultTolerance = Tolerance{Frac: 0.75, CrossHostSlack: 4, TailSlack: 4, TailN: 1024}
 
 // Delta is one (workload, metric) comparison outcome.
 type Delta struct {
@@ -67,6 +79,14 @@ func Compare(base, fresh *Report, tol Tolerance) (deltas []Delta, regressions in
 		if b.Value != 0 {
 			d.Ratio = f.Value / b.Value
 		}
+		ef := frac
+		if b.Metric == MetricP99Ns && tol.TailN > 0 && (b.N < tol.TailN || f.N < tol.TailN) {
+			slack := tol.TailSlack
+			if slack < 1 {
+				slack = DefaultTolerance.TailSlack
+			}
+			ef *= slack
+		}
 		switch {
 		case b.Metric == MetricAllocsPerOp:
 			if f.Value > b.Value {
@@ -74,17 +94,17 @@ func Compare(base, fresh *Report, tol Tolerance) (deltas []Delta, regressions in
 				d.Reason = fmt.Sprintf("allocs/op rose %.0f → %.0f (exact-fail)", b.Value, f.Value)
 			}
 		case higherIsBetter(b.Metric):
-			if f.Value < b.Value/(1+frac) {
+			if f.Value < b.Value/(1+ef) {
 				d.Regressed = true
-				d.Reason = fmt.Sprintf("%s fell %.3g → %.3g (band −%.0f%%)", b.Metric, b.Value, f.Value, 100*frac/(1+frac))
+				d.Reason = fmt.Sprintf("%s fell %.3g → %.3g (band −%.0f%%)", b.Metric, b.Value, f.Value, 100*ef/(1+ef))
 			}
 		default: // lower is better, tolerance-banded
 			if b.Value == 0 {
 				break // degenerate baseline; nothing to band against
 			}
-			if f.Value > b.Value*(1+frac) {
+			if f.Value > b.Value*(1+ef) {
 				d.Regressed = true
-				d.Reason = fmt.Sprintf("%s rose %.3g → %.3g (band +%.0f%%)", b.Metric, b.Value, f.Value, 100*frac)
+				d.Reason = fmt.Sprintf("%s rose %.3g → %.3g (band +%.0f%%)", b.Metric, b.Value, f.Value, 100*ef)
 			}
 		}
 		if d.Regressed {

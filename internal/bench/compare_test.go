@@ -123,6 +123,46 @@ func TestCompareNewWorkloadInformational(t *testing.T) {
 	}
 }
 
+// TestCompareSmallSampleTailSlack: a p99 over few samples is an order
+// statistic pinned by a handful of worst-case draws, so its band widens
+// by TailSlack below TailN samples — while the same-n p50 (a median,
+// statistically stable at that depth) and a full-depth p99 keep the
+// tight band. A custom Tolerance with TailN == 0 keeps the old exact
+// behaviour.
+func TestCompareSmallSampleTailSlack(t *testing.T) {
+	base, fresh := pairedReports()
+	base.Add("fleet/edge/gateway", MetricP99Ns, 1e6, 256)
+	fresh.Add("fleet/edge/gateway", MetricP99Ns, 2.5e6, 256) // 2.5× tail wobble at n=256
+	base.Add("fleet/edge/gateway", MetricP50Ns, 3e5, 256)
+	fresh.Add("fleet/edge/gateway", MetricP50Ns, 3.1e5, 256)
+	if n, deltas := regressionCount(t, base, fresh); n != 0 {
+		t.Errorf("regressions = %d: small-n p99 tail slack not applied; deltas: %+v", n, deltas)
+	}
+	setEntry(fresh, "fleet/edge/gateway", MetricP99Ns, 4.1e6) // beyond even 4×75% = +300%
+	if n, _ := regressionCount(t, base, fresh); n != 1 {
+		t.Error("a beyond-tail-slack p99 blowup passed compare")
+	}
+	setEntry(fresh, "fleet/edge/gateway", MetricP99Ns, 1e6)
+	setEntry(fresh, "fleet/edge/gateway", MetricP50Ns, 2.5e5*3) // p50 gets no tail slack
+	if n, _ := regressionCount(t, base, fresh); n != 1 {
+		t.Error("a 2.5× p50 regression at n=256 passed: tail slack must be p99-only")
+	}
+	setEntry(fresh, "fleet/edge/gateway", MetricP50Ns, 3.1e5)
+
+	base.Add("service/edge", MetricP99Ns, 1e6, 4096)
+	fresh.Add("service/edge", MetricP99Ns, 2.5e6, 4096) // full depth: tight band holds
+	if n, _ := regressionCount(t, base, fresh); n != 1 {
+		t.Error("a 2.5× p99 regression at n=4096 passed: tail slack must be small-n-only")
+	}
+	setEntry(fresh, "service/edge", MetricP99Ns, 1e6)
+
+	setEntry(fresh, "fleet/edge/gateway", MetricP99Ns, 2.5e6)
+	legacy := Tolerance{Frac: 0.75, CrossHostSlack: 4} // TailN 0: widening disabled
+	if _, n := Compare(base, fresh, legacy); n != 1 {
+		t.Error("TailN == 0 did not preserve the unwidened band")
+	}
+}
+
 // TestCompareCrossHostSlack: on a different host class the time band
 // widens by the slack factor (2× passes at 4×75%=300%), while allocation
 // regressions stay exact.

@@ -50,6 +50,14 @@ type GatewayOptions struct {
 	ProbeTimeout time.Duration
 	// MaxFrame bounds one wire frame on both hops (default 16 MiB).
 	MaxFrame int
+	// IdleTimeout bounds the wait for the next CLIENT frame; a session
+	// idle past it is shut down cleanly (0 = never). It applies only to
+	// the client hop — backend conns carry no read deadline, so a quiet
+	// backend link is never mistaken for backend death (which would trip
+	// a spurious failover).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each client-hop frame write (0 = never).
+	WriteTimeout time.Duration
 	// Logf receives gateway diagnostics (nil = silent).
 	Logf func(format string, args ...interface{})
 }

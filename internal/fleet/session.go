@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"bpsf/internal/service"
 )
@@ -194,7 +195,7 @@ func (e *helloRejected) Error() string { return e.msg }
 // frame verbatim and reading the acceptance. Returns the raw ack payload
 // so the gateway can forward it (new sessions) or discard it (failover).
 func (g *Gateway) dialBackend(be *backend, helloFrame []byte) (net.Conn, *bufio.Writer, []byte, service.AckGeometry, error) {
-	conn, err := net.Dial("tcp", be.getAddr())
+	conn, err := service.DialAddr(be.getAddr())
 	if err != nil {
 		return nil, nil, nil, service.AckGeometry{}, err
 	}
@@ -230,12 +231,17 @@ func (g *Gateway) dialBackend(be *backend, helloFrame []byte) (net.Conn, *bufio.
 // journal, forward, and on a backend write failure let failover repair
 // it — the frame is journaled before the write, so replay re-drives it.
 func (s *session) upstream() {
+	var readBuf []byte // frame arena; the journal copies what it keeps
 	for {
-		payload, err := service.ReadFrame(s.cbr, s.g.opts.MaxFrame)
+		if s.g.opts.IdleTimeout > 0 {
+			s.cconn.SetReadDeadline(time.Now().Add(s.g.opts.IdleTimeout))
+		}
+		payload, err := service.ReadFrameInto(s.cbr, s.g.opts.MaxFrame, readBuf)
 		if err != nil {
-			s.shutdown() // client went away; nothing to preserve
+			s.shutdown() // client went away (or idled out); nothing to preserve
 			return
 		}
+		readBuf = payload
 		t := service.FrameType(payload)
 
 		s.mu.Lock()
@@ -249,7 +255,9 @@ func (s *session) upstream() {
 			// via statsPending rather than the journal
 			s.statsPending++
 		} else {
-			s.journal = append(s.journal, payload)
+			// the arena buffer is overwritten by the next read; the journal
+			// keeps frames for the session's lifetime, so it owns a copy
+			s.journal = append(s.journal, append([]byte(nil), payload...))
 			s.journalBytes += len(payload)
 			if s.journalBytes > s.g.opts.MaxJournalBytes && s.replayable {
 				s.replayable = false
@@ -282,8 +290,13 @@ func (s *session) pump(epoch int, br *bufio.Reader, target replayTarget) {
 	for p := range rsum {
 		rsum[p] = fnvOffset64
 	}
+	// Frame and canonical-form arenas. Backend conns deliberately carry no
+	// idle deadline: a quiet session is normal (the client paces the
+	// traffic), and an idle timeout here would read as backend death and
+	// trip a spurious failover.
+	var readBuf, canonBuf []byte
 	for {
-		payload, err := service.ReadFrame(br, s.g.opts.MaxFrame)
+		payload, err := service.ReadFrameInto(br, s.g.opts.MaxFrame, readBuf)
 		if err != nil {
 			s.mu.Lock()
 			stale := s.closed || s.epoch != epoch
@@ -293,6 +306,7 @@ func (s *session) pump(epoch int, br *bufio.Reader, target replayTarget) {
 			}
 			return
 		}
+		readBuf = payload
 		switch t := service.FrameType(payload); t {
 		case service.MsgStatsReply:
 			s.deliverStats(payload)
@@ -307,7 +321,8 @@ func (s *session) pump(epoch int, br *bufio.Reader, target replayTarget) {
 					fmt.Sprintf("fleet: backend sent unexpected message type %d", t)))
 				return
 			}
-			canon := service.CanonicalFrame(payload, s.mechBytes)
+			canonBuf = service.AppendCanonicalFrame(canonBuf[:0], payload, s.mechBytes)
+			canon := canonBuf
 			if replayed[p] < target.count[p] {
 				rsum[p] = hashFrame(rsum[p], canon)
 				replayed[p]++
@@ -444,6 +459,9 @@ func (s *session) failover(fromEpoch int, cause error) bool {
 func (s *session) writeClient(payload []byte) error {
 	s.cwMu.Lock()
 	defer s.cwMu.Unlock()
+	if s.g.opts.WriteTimeout > 0 {
+		s.cconn.SetWriteDeadline(time.Now().Add(s.g.opts.WriteTimeout))
+	}
 	if err := service.WriteFrame(s.cbw, payload); err != nil {
 		return err
 	}

@@ -1,0 +1,38 @@
+package obs
+
+// ArenaCounters bundles the bpsf_arena_* counter family: the service
+// path's buffer-arena economy (DESIGN.md §13). The bundle is resolved
+// from a Registry once per session so hot-path increments are plain
+// atomic adds — no registry map lookup per frame. Ratios to read off the
+// family: FrameGrows/FrameReads is the arena miss rate (should fall to
+// ~0 at steady state), JobsFresh/(JobsFresh+JobsReused) likewise for the
+// reply-job free lists, and WriteFrames/WriteFlushes is the socket-write
+// coalescing factor (>1 means batched flushes are doing their job).
+type ArenaCounters struct {
+	// FrameReads counts frames read through a reusable arena buffer;
+	// FrameGrows counts the subset that had to grow the buffer.
+	FrameReads *Counter
+	FrameGrows *Counter
+	// JobsReused / JobsFresh count reply-job acquisitions served from the
+	// session free list vs freshly allocated.
+	JobsReused *Counter
+	JobsFresh  *Counter
+	// WriteFrames counts reply frames buffered for write; WriteFlushes
+	// counts the socket flushes that carried them.
+	WriteFrames  *Counter
+	WriteFlushes *Counter
+}
+
+// NewArenaCounters resolves the family in r (creating the counters on
+// first use). Safe on a nil registry: the bundle's counters are then nil
+// and every increment is a no-op.
+func NewArenaCounters(r *Registry) ArenaCounters {
+	return ArenaCounters{
+		FrameReads:   r.Counter("bpsf_arena_frame_reads_total"),
+		FrameGrows:   r.Counter("bpsf_arena_frame_grows_total"),
+		JobsReused:   r.Counter("bpsf_arena_jobs_reused_total"),
+		JobsFresh:    r.Counter("bpsf_arena_jobs_fresh_total"),
+		WriteFrames:  r.Counter("bpsf_arena_write_frames_total"),
+		WriteFlushes: r.Counter("bpsf_arena_write_flushes_total"),
+	}
+}

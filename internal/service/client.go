@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -22,8 +23,17 @@ var ErrBackendClosed = errors.New("service: backend closed connection")
 
 // classifyRecvErr wraps a recvLoop read error: connection-loss shapes
 // (EOF at or inside a frame, reset, broken pipe) become ErrBackendClosed;
-// net.ErrClosed stays plain because it means this side hung up.
+// net.ErrClosed stays plain because it means this side hung up. Deadline
+// expiry is checked first: a timeout is a verdict about THIS hop's
+// socket (an idle or stalled peer), not evidence the backend process
+// died — before PR10 a timeout inside a frame wrapped into
+// io.ErrUnexpectedEOF territory and could masquerade as backend death,
+// tripping fleet failover on a link that merely stalled.
 func classifyRecvErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("service: session timed out: %w", err)
+	}
 	if !errors.Is(err, net.ErrClosed) &&
 		(errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
 			errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)) {
@@ -50,7 +60,12 @@ type Client struct {
 	maxFrame int
 	maxBatch int
 
-	sendMu sync.Mutex // serializes frame writes
+	sendMu  sync.Mutex // serializes frame writes
+	sendBuf []byte     // request-frame arena, guarded by sendMu
+
+	recvBuf []byte // reply-frame arena, recvLoop only
+
+	freeP chan *Pending // recycled Pendings (Release)
 
 	mu      sync.Mutex // guards pending/opens/statsQ/streams/nextID/err
 	pending map[uint64]*Pending
@@ -66,6 +81,12 @@ type Client struct {
 }
 
 // Pending is an in-flight batch; Wait blocks for its responses.
+//
+// Completion is a token in a 1-slot channel rather than a close, so a
+// Pending can be recycled: Wait takes the token and puts it straight
+// back, which keeps Wait re-entrant, and Client.Release drains it when
+// returning the Pending (and its Response/ErrHat capacity) to the
+// session's free list.
 type Pending struct {
 	done  chan struct{}
 	resps []Response
@@ -76,16 +97,70 @@ type Pending struct {
 // returns one Response per submitted syndrome, in submission order.
 func (p *Pending) Wait() ([]Response, error) {
 	<-p.done
+	p.done <- struct{}{}
 	return p.resps, p.err
 }
 
-// Dial opens a decode session. The Hello is validated locally first, so
+// complete releases every waiter. Called exactly once per flight: both
+// completion paths (recvLoop delivery, session failure) unregister the
+// Pending under c.mu before completing it.
+func (p *Pending) complete() {
+	p.done <- struct{}{}
+}
+
+// Release returns an awaited Pending to the session's free list so its
+// Response slice (and each retained ErrHat's capacity) back the next
+// Submit — with Release in the loop, a warm client round-trip allocates
+// nothing. Optional: an unreleased Pending is simply collected. The
+// caller must be done with the responses — their ErrHat bytes are
+// overwritten by a later reply.
+func (c *Client) Release(p *Pending) {
+	if p == nil {
+		return
+	}
+	select {
+	case <-p.done: // drain the completion token; the slot starts idle
+	default:
+	}
+	p.err = nil
+	select {
+	case c.freeP <- p:
+	default: // free list full; let the GC have it
+	}
+}
+
+// getPending reuses a released Pending or mints a fresh one.
+func (c *Client) getPending() *Pending {
+	select {
+	case p := <-c.freeP:
+		return p
+	default:
+		return &Pending{done: make(chan struct{}, 1)}
+	}
+}
+
+// DialAddr opens the client transport for addr: "unix:<path>", an
+// absolute path, or an abstract-socket name (leading '@') selects a
+// Unix-domain stream socket (the co-located transport of bpsf-serve
+// -uds); anything else dials TCP.
+func DialAddr(addr string) (net.Conn, error) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Dial("unix", rest)
+	}
+	if strings.HasPrefix(addr, "/") || strings.HasPrefix(addr, "@") {
+		return net.Dial("unix", addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// Dial opens a decode session (TCP, or UDS for "unix:"/path-shaped
+// addresses — see DialAddr). The Hello is validated locally first, so
 // configuration mistakes fail without a network round trip.
 func Dial(addr string, h Hello) (*Client, error) {
 	if _, err := validateHello(h); err != nil {
 		return nil, err
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := DialAddr(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +169,7 @@ func Dial(addr string, h Hello) (*Client, error) {
 		br:       bufio.NewReader(conn),
 		bw:       bufio.NewWriter(conn),
 		maxFrame: defaultMaxFrame,
+		freeP:    make(chan *Pending, 64),
 		pending:  make(map[uint64]*Pending),
 		streams:  make(map[uint64]*ClientStream),
 		done:     make(chan struct{}),
@@ -175,45 +251,50 @@ func (c *Client) Submit(syndromes []gf2.Vec) (*Pending, error) {
 			return nil, fmt.Errorf("service: syndrome %d has %d bits, session expects %d", i, v.Len(), c.numDets)
 		}
 	}
-	return c.send(func(id uint64) []byte {
-		buf := appendBatchHeader(nil, id, len(syndromes))
-		for _, v := range syndromes {
-			buf = v.AppendBytes(buf)
-		}
-		return buf
-	})
-}
-
-// send registers a Pending under the next batch id, builds the request
-// frame and writes it out — the one request path shared by Submit and
-// SubmitSample. The payload is built under the pending registration so
-// replies can never race their waiter.
-func (c *Client) send(build func(id uint64) []byte) (*Pending, error) {
-	p := &Pending{done: make(chan struct{})}
-
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+	p, id, err := c.enroll()
+	if err != nil {
 		return nil, err
 	}
-	id := c.nextID
-	c.nextID++
-	c.pending[id] = p
-	c.mu.Unlock()
-
-	buf := build(id)
 	c.sendMu.Lock()
-	err := writeFrame(c.bw, buf)
-	if err == nil {
-		err = c.bw.Flush()
+	c.sendBuf = appendBatchHeader(c.sendBuf[:0], id, len(syndromes))
+	for _, v := range syndromes {
+		c.sendBuf = v.AppendBytes(c.sendBuf)
 	}
+	err = c.flushLocked(c.sendBuf)
 	c.sendMu.Unlock()
 	if err != nil {
 		c.fail(err)
 		return nil, err
 	}
 	return p, nil
+}
+
+// enroll registers a (possibly recycled) Pending under the next batch id
+// — the request-side half shared by Submit and SubmitSample. The frame is
+// then built into the send arena and written under sendMu; registration
+// happens first so a reply can never race its waiter.
+func (c *Client) enroll() (*Pending, uint64, error) {
+	p := c.getPending()
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		c.Release(p)
+		return nil, 0, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = p
+	c.mu.Unlock()
+	return p, id, nil
+}
+
+// flushLocked writes one frame and flushes; caller holds sendMu.
+func (c *Client) flushLocked(buf []byte) error {
+	if err := writeFrame(c.bw, buf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // SubmitSample asks the server to draw count syndromes server-side — via
@@ -228,7 +309,19 @@ func (c *Client) SubmitSample(count int) (*Pending, error) {
 	if count < 1 || count > c.maxBatch {
 		return nil, fmt.Errorf("service: sample request of %d shots (want 1..%d)", count, c.maxBatch)
 	}
-	return c.send(func(id uint64) []byte { return appendSample(nil, id, count) })
+	p, id, err := c.enroll()
+	if err != nil {
+		return nil, err
+	}
+	c.sendMu.Lock()
+	c.sendBuf = appendSample(c.sendBuf[:0], id, count)
+	err = c.flushLocked(c.sendBuf)
+	c.sendMu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return nil, err
+	}
+	return p, nil
 }
 
 // pendingStats is one in-flight Stats request. Stats requests carry no
@@ -299,14 +392,15 @@ func (c *Client) Close() error {
 
 func (c *Client) recvLoop() {
 	for {
-		payload, err := readFrame(c.br, c.maxFrame)
+		payload, err := readFrameInto(c.br, c.maxFrame, c.recvBuf)
 		if err != nil {
 			c.fail(classifyRecvErr(err))
 			return
 		}
+		c.recvBuf = payload
 		switch payload[0] {
 		case msgBatchReply:
-			id, resps, err := parseBatchReply(payload, (c.numMechs+7)/8)
+			id, err := peekBatchReplyID(payload)
 			if err != nil {
 				c.fail(err)
 				return
@@ -319,8 +413,18 @@ func (c *Client) recvLoop() {
 				c.fail(fmt.Errorf("service: reply for unknown batch %d", id))
 				return
 			}
+			// Parse straight into the Pending's recycled Response slice:
+			// every ErrHat is appended into that slot's retained capacity,
+			// so a Release'd Pending makes the whole reply path free.
+			_, resps, err := parseBatchReplyInto(payload, (c.numMechs+7)/8, p.resps)
+			if err != nil {
+				p.err = err
+				p.complete()
+				c.fail(err)
+				return
+			}
 			p.resps = resps
-			close(p.done)
+			p.complete()
 		case msgStreamAck:
 			ack, err := parseStreamAck(payload)
 			if err != nil {
@@ -404,7 +508,7 @@ func (c *Client) fail(err error) {
 	}
 	for id, p := range c.pending {
 		p.err = c.err
-		close(p.done)
+		p.complete()
 		delete(c.pending, id)
 	}
 	for _, po := range c.opens {

@@ -227,6 +227,9 @@ func DriveLoad(addr string, cfg LoadConfig) (LoadResult, error) {
 							return
 						}
 						record(time.Since(sendT), resps)
+						// record only copies scalar fields out of resps, so the
+						// Pending (and its ErrHat arenas) can back a later batch
+						c.Release(pend)
 					}()
 				} else {
 					resps, err := pend.Wait()
@@ -238,6 +241,7 @@ func DriveLoad(addr string, cfg LoadConfig) (LoadResult, error) {
 						return
 					}
 					record(time.Since(sendT), resps)
+					c.Release(pend)
 				}
 			}
 			pending.Wait()

@@ -3,6 +3,7 @@ package service
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bpsf/internal/decoding"
@@ -20,15 +21,36 @@ import (
 // span, when non-nil, points into the batch job's span slice and accrues
 // the request's stage timings (admit/queue/coalesce/decode marked along
 // the pool path, write marked by the session's reply writer).
+//
+// affinity selects the per-worker run queue the request is admitted to
+// (lane = affinity mod pool size); sessions pass their session id, so a
+// session's requests keep landing on the same warm decoder. pending,
+// when non-nil, is the batch job's outstanding-request count — the reply
+// writer peeks it to decide whether the next reply can join the current
+// coalesced socket flush.
 type request struct {
 	syndrome gf2.Vec
 	seed     int64
 	enqueued time.Time
 	deadline time.Duration
+	affinity int
 	wantObs  []byte // nil for client-supplied syndromes
+	wantBuf  []byte // wantObs's reusable backing arena (sampled requests)
 	resp     *Response
 	span     *obs.Span
+	pending  *atomic.Int32
 	wg       *sync.WaitGroup
+}
+
+// finish completes one request: the job's peekable outstanding count
+// first (so a writer that observes pending==0 knows every wg.Done of the
+// job has been issued or is imminent — wg.Wait is still the barrier),
+// then the WaitGroup the reply writer blocks on.
+func (r *request) finish() {
+	if r.pending != nil {
+		r.pending.Add(-1)
+	}
+	r.wg.Done()
 }
 
 type poolOptions struct {
@@ -51,40 +73,56 @@ type poolOptions struct {
 const batchKernelMinLanes = 8
 
 // pool serves one (code, rounds, p, spec) decode family: size warm
-// decoders, each owned by one worker goroutine, all fed from a single
-// bounded queue — the serve-loop shape of the paper's P-worker dispatch
-// (sim.ScheduleLatency), with real syndromes instead of modeled trials.
+// decoders, each owned by one worker goroutine — the serve-loop shape of
+// the paper's P-worker dispatch (sim.ScheduleLatency), with real
+// syndromes instead of modeled trials.
+//
+// Admission is affinity-aware (DESIGN.md §13): every worker owns a small
+// local run queue and the pool keeps one shared overflow queue. A request
+// lands on locals[affinity mod size] when there is room, so a session's
+// requests keep hitting the same warm decoder (cache-hot priors and
+// scratch), and spills to the shared queue under imbalance. Workers
+// prefer their local queue, then take whichever of local/shared delivers
+// first — work-stealing without a global admission mutex: the admission
+// counters are atomics and the only lock left on the hot path is the
+// completion-side statistics mutex.
 //
 // Workers coalesce adaptively: a worker that pops one request also claims
-// up to maxBatch−1 more without blocking, scaled to the current backlog, so
-// a deep queue is drained in large sweeps (amortizing queue handoffs and
-// letting expired requests shed in bulk) while an idle service decodes
-// singles at minimum latency.
+// up to maxBatch−1 more without blocking (local first, then shared),
+// scaled to the current backlog, so a deep queue is drained in large
+// sweeps (amortizing queue handoffs and letting expired requests shed in
+// bulk) while an idle service decodes singles at minimum latency.
 //
-// Every statistic lives behind one mutex (counters AND the latency
-// histogram), so a stats() snapshot is coherent: it can never show more
-// completions than admissions, and Latency.N always equals Decoded. The
-// pre-PR7 pool mixed atomics with the histogram's private lock, so
-// concurrent snapshots could tear across the two.
+// Completion statistics (decoded, batch counters, busy time AND the
+// latency histogram) live behind one mutex, so Latency.N always equals
+// Decoded in a snapshot. Admission counters are atomics; stats() reads
+// the completion block first and admitted last, and every shed/decode
+// increment happens after its request's admitted increment, so a snapshot
+// still can never show more completions than admissions.
 type pool struct {
 	key  string
 	dem  *dem.DEM
 	opts poolOptions
 
-	queue   chan *request
+	locals  []chan *request // per-worker affinity queues
+	shared  chan *request   // overflow queue, stolen by any worker
 	workers sync.WaitGroup
 	closed  sync.Once
+
+	// admission-path counters: no lock between a session read loop and
+	// the queue send
+	admitted     atomic.Uint64
+	shedQueue    atomic.Uint64
+	shedDeadline atomic.Uint64
 
 	mu sync.Mutex
 	st poolCounters
 }
 
-// poolCounters is the mutex-guarded statistics block of one pool.
+// poolCounters is the mutex-guarded completion-side statistics block of
+// one pool.
 type poolCounters struct {
-	admitted     uint64
 	decoded      uint64
-	shedQueue    uint64
-	shedDeadline uint64
 	batches      uint64
 	coalesced    uint64
 	batchDecodes uint64
@@ -125,11 +163,19 @@ type PoolStats struct {
 // constructed decoder (mk is called size times) before the first request
 // is admitted — and starts the workers.
 func newPool(key string, d *dem.DEM, mk func() (sim.Decoder, error), opts poolOptions) (*pool, error) {
+	localDepth := opts.queueDepth / opts.size
+	if localDepth < 1 {
+		localDepth = 1
+	}
 	p := &pool{
-		key:   key,
-		dem:   d,
-		opts:  opts,
-		queue: make(chan *request, opts.queueDepth),
+		key:    key,
+		dem:    d,
+		opts:   opts,
+		locals: make([]chan *request, opts.size),
+		shared: make(chan *request, opts.queueDepth),
+	}
+	for i := range p.locals {
+		p.locals[i] = make(chan *request, localDepth)
 	}
 	decs := make([]sim.Decoder, opts.size)
 	bdecs := make([]sim.BatchDecoder, opts.size)
@@ -147,36 +193,48 @@ func newPool(key string, d *dem.DEM, mk func() (sim.Decoder, error), opts poolOp
 	}
 	for i, dec := range decs {
 		p.workers.Add(1)
-		go p.worker(dec, bdecs[i])
+		go p.worker(p.locals[i], dec, bdecs[i])
 	}
 	return p, nil
 }
 
-// submit admits one request. Sessions without a deadline get backpressure
-// (the enqueue blocks, which stalls that session's read loop and
-// ultimately its TCP stream); sessions with a deadline are admitted
-// non-blocking and shed immediately when the queue is full.
+// submit admits one request onto its affinity lane, spilling to the
+// shared queue when the lane is full. Sessions without a deadline get
+// backpressure (the enqueue blocks, which stalls that session's read loop
+// and ultimately its TCP stream); sessions with a deadline are admitted
+// non-blocking and shed immediately when both queues are full. The
+// admission path takes no lock — the counters are atomics.
 func (p *pool) submit(r *request) {
-	p.mu.Lock()
-	p.st.admitted++
-	p.mu.Unlock()
+	p.admitted.Add(1)
+	lane := r.affinity % len(p.locals)
+	if lane < 0 {
+		lane += len(p.locals)
+	}
+	local := p.locals[lane]
+	select {
+	case local <- r:
+		return
+	default:
+	}
 	if r.deadline > 0 {
 		select {
-		case p.queue <- r:
+		case p.shared <- r:
 		default:
 			r.resp.Shed = true
-			p.mu.Lock()
-			p.st.shedQueue++
-			p.mu.Unlock()
-			r.wg.Done()
+			p.shedQueue.Add(1)
+			r.finish()
 		}
 		return
 	}
-	p.queue <- r
+	select {
+	case local <- r:
+	case p.shared <- r:
+	}
 }
 
-func (p *pool) worker(dec sim.Decoder, bdec sim.BatchDecoder) {
+func (p *pool) worker(local chan *request, dec sim.Decoder, bdec sim.BatchDecoder) {
 	defer p.workers.Done()
+	shared := p.shared
 	batch := make([]*request, 0, p.opts.maxBatch)
 	// per-worker scratch for the sampled-request observable comparison
 	// (nil-DEM stub pools never see sampled requests)
@@ -190,8 +248,38 @@ func (p *pool) worker(dec sim.Decoder, bdec sim.BatchDecoder) {
 	if bdec != nil {
 		sc = newBatchScratch(p.dem, p.opts.maxBatch)
 	}
-	for first := range p.queue {
-		batch = p.coalesce(batch[:0], first)
+	// A drained+closed queue is disabled by nilling it (a nil channel
+	// never delivers), so close never spins the select; the worker exits
+	// once both queues are gone.
+	for local != nil || shared != nil {
+		var first *request
+		var ok bool
+		// prefer affinity work without blocking before stealing
+		if local != nil {
+			select {
+			case first, ok = <-local:
+				if !ok {
+					local = nil
+					continue
+				}
+			default:
+			}
+		}
+		if first == nil {
+			select {
+			case first, ok = <-local:
+				if !ok {
+					local = nil
+					continue
+				}
+			case first, ok = <-shared:
+				if !ok {
+					shared = nil
+					continue
+				}
+			}
+		}
+		batch = p.coalesce(batch[:0], first, local, shared)
 		claimT := time.Now()
 		for _, r := range batch {
 			// queue stage ends for the whole claim at once; the wait behind
@@ -214,24 +302,33 @@ func (p *pool) worker(dec sim.Decoder, bdec sim.BatchDecoder) {
 }
 
 // coalesce claims the batch for one worker pass: the blocking first
-// request plus, without blocking, up to target−1 more, where the target
-// grows with the queue backlog observed at claim time (capped at
-// maxBatch).
-func (p *pool) coalesce(batch []*request, first *request) []*request {
+// request plus, without blocking, up to target−1 more — affinity queue
+// first, then the shared queue — where the target grows with the backlog
+// observed at claim time (capped at maxBatch). Either channel may be nil
+// (disabled after close) or closed; both simply end the claim.
+func (p *pool) coalesce(batch []*request, first *request, local, shared chan *request) []*request {
 	batch = append(batch, first)
-	target := 1 + len(p.queue)
+	target := 1 + len(local) + len(shared)
 	if target > p.opts.maxBatch {
 		target = p.opts.maxBatch
 	}
 	for len(batch) < target {
 		select {
-		case r, ok := <-p.queue:
+		case r, ok := <-local:
 			if !ok {
 				return batch
 			}
 			batch = append(batch, r)
 		default:
-			return batch
+			select {
+			case r, ok := <-shared:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+			default:
+				return batch
+			}
 		}
 	}
 	return batch
@@ -241,10 +338,8 @@ func (p *pool) serve(dec sim.Decoder, r *request, obsHat, obsWant gf2.Vec) {
 	wait := time.Since(r.enqueued)
 	if r.deadline > 0 && wait > r.deadline {
 		r.resp.Shed = true
-		p.mu.Lock()
-		p.st.shedDeadline++
-		p.mu.Unlock()
-		r.wg.Done()
+		p.shedDeadline.Add(1)
+		r.finish()
 		return
 	}
 	sim.Reseed(dec, r.seed)
@@ -269,7 +364,7 @@ func (p *pool) serve(dec sim.Decoder, r *request, obsHat, obsWant gf2.Vec) {
 	p.st.decoded++
 	p.st.lat.Observe(r.resp.Latency)
 	p.mu.Unlock()
-	r.wg.Done()
+	r.finish()
 }
 
 // batchScratch is a worker's reusable buffers for the bitsliced fast
@@ -307,15 +402,13 @@ func (p *pool) serveBatch(bdec sim.BatchDecoder, batch []*request, sc *batchScra
 		if r.deadline > 0 && time.Since(r.enqueued) > r.deadline {
 			r.resp.Shed = true
 			shed++
-			r.wg.Done()
+			r.finish()
 			continue
 		}
 		live = append(live, r)
 	}
 	if shed > 0 {
-		p.mu.Lock()
-		p.st.shedDeadline += uint64(shed)
-		p.mu.Unlock()
+		p.shedDeadline.Add(uint64(shed))
 	}
 	for len(live) > 0 {
 		chunk := live
@@ -394,7 +487,7 @@ func (p *pool) decodeChunk(bdec sim.BatchDecoder, chunk []*request, sc *batchScr
 	}
 	p.mu.Unlock()
 	for _, r := range chunk {
-		r.wg.Done()
+		r.finish()
 	}
 }
 
@@ -402,21 +495,27 @@ func (p *pool) decodeChunk(bdec sim.BatchDecoder, chunk []*request, sc *batchScr
 // every queued request (no admitted work is dropped by shutdown) and then
 // terminate.
 func (p *pool) close() {
-	p.closed.Do(func() { close(p.queue) })
+	p.closed.Do(func() {
+		for _, q := range p.locals {
+			close(q)
+		}
+		close(p.shared)
+	})
 	p.workers.Wait()
 }
 
-// stats takes one coherent snapshot under the pool's single statistics
-// mutex.
+// stats takes a coherent snapshot: the completion block under the
+// statistics mutex first, the admission atomics after. Every completion
+// (decode or shed) happens-after its own admission increment, so reading
+// admitted last guarantees Decoded + ShedQueue + ShedDeadline ≤ Admitted
+// even against concurrent traffic; Latency.N == Decoded holds because
+// both live under the mutex.
 func (p *pool) stats() PoolStats {
 	p.mu.Lock()
 	st := PoolStats{
 		Pool:         p.key,
 		Size:         p.opts.size,
-		Admitted:     p.st.admitted,
 		Decoded:      p.st.decoded,
-		ShedQueue:    p.st.shedQueue,
-		ShedDeadline: p.st.shedDeadline,
 		Batches:      p.st.batches,
 		Coalesced:    p.st.coalesced,
 		BatchDecodes: p.st.batchDecodes,
@@ -425,6 +524,9 @@ func (p *pool) stats() PoolStats {
 		Latency:      p.st.lat.Snapshot(),
 	}
 	p.mu.Unlock()
+	st.ShedQueue = p.shedQueue.Load()
+	st.ShedDeadline = p.shedDeadline.Load()
+	st.Admitted = p.admitted.Load()
 	if st.Batches > 0 {
 		st.AvgBatch = float64(st.Coalesced) / float64(st.Batches)
 	}

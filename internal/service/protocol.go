@@ -13,6 +13,7 @@
 package service
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -124,8 +125,22 @@ type Response struct {
 // ---- frame IO ----
 
 func writeFrame(w io.Writer, payload []byte) error {
+	n := uint32(len(payload))
+	if bw, ok := w.(*bufio.Writer); ok {
+		// Byte-at-a-time header keeps the hot path allocation-free: a
+		// stack header array passed through io.Writer (or even through
+		// bufio.Writer.Write, whose parameter can flow to the underlying
+		// writer) is forced to the heap by escape analysis.
+		for shift := 0; shift < 32; shift += 8 {
+			if err := bw.WriteByte(byte(n >> shift)); err != nil {
+				return err
+			}
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
 	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[:], n)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -134,22 +149,61 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return readFrameInto(r, maxFrame, nil)
+}
+
+// readFrameInto reads one frame into buf, growing it only when the frame
+// exceeds its capacity, and returns the payload as buf[:n]. The returned
+// slice is valid until the next readFrameInto with the same buffer — this
+// is the arena contract of DESIGN.md §13: a caller that retains payload
+// bytes past the next read must copy them. Passing nil behaves like the
+// historical readFrame (a fresh allocation per frame).
+func readFrameInto(r io.Reader, maxFrame int, buf []byte) ([]byte, error) {
+	n, err := readFrameLen(r)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
 	if n == 0 {
 		return nil, fmt.Errorf("service: empty frame")
 	}
 	if int64(n) > int64(maxFrame) {
 		return nil, fmt.Errorf("service: frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
-	buf := make([]byte, n)
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// readFrameLen reads the 4-byte little-endian length header. Buffered
+// readers take a byte-at-a-time path so the hot loop needs no header
+// scratch (a stack array passed through io.ReadFull's interface is
+// heap-escaped); the error shape matches io.ReadFull — io.EOF only on a
+// clean boundary, io.ErrUnexpectedEOF inside the header.
+func readFrameLen(r io.Reader) (uint32, error) {
+	if br, ok := r.(*bufio.Reader); ok {
+		var n uint32
+		for shift := 0; shift < 32; shift += 8 {
+			c, err := br.ReadByte()
+			if err != nil {
+				if err == io.EOF && shift > 0 {
+					err = io.ErrUnexpectedEOF
+				}
+				return 0, err
+			}
+			n |= uint32(c) << shift
+		}
+		return n, nil
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(hdr[:]), nil
 }
 
 // ---- payload encoding ----
@@ -356,6 +410,14 @@ func appendBatchHeader(b []byte, batchID uint64, count int) []byte {
 // parseBatch splits a Batch payload into its syndrome byte slices (views
 // into payload).
 func parseBatch(payload []byte, detBytes int) (batchID uint64, syndromes [][]byte, err error) {
+	return parseBatchInto(payload, detBytes, nil)
+}
+
+// parseBatchInto is parseBatch with a reusable view slice: scratch's
+// capacity is reused so a warm session parses batches without allocating.
+// The returned views alias payload, which the session's read loop owns
+// only until its next frame read.
+func parseBatchInto(payload []byte, detBytes int, scratch [][]byte) (batchID uint64, syndromes [][]byte, err error) {
 	r := &reader{b: payload}
 	if t := r.u8(); t != msgBatch {
 		return 0, nil, fmt.Errorf("service: expected Batch, got message type %d", t)
@@ -368,7 +430,10 @@ func parseBatch(payload []byte, detBytes int) (batchID uint64, syndromes [][]byt
 	if got := r.rest(); got != count*detBytes {
 		return 0, nil, fmt.Errorf("service: batch of %d syndromes carries %d bytes, want %d", count, got, count*detBytes)
 	}
-	syndromes = make([][]byte, count)
+	if cap(scratch) < count {
+		scratch = make([][]byte, count)
+	}
+	syndromes = scratch[:count]
 	for i := range syndromes {
 		syndromes[i] = r.bytes(detBytes)
 	}
@@ -583,6 +648,30 @@ func appendResponse(b []byte, resp *Response, mechBytes int) []byte {
 }
 
 func parseBatchReply(payload []byte, mechBytes int) (batchID uint64, resps []Response, err error) {
+	return parseBatchReplyInto(payload, mechBytes, nil)
+}
+
+// peekBatchReplyID reads just the batch id off a BatchReply frame, so
+// the receiver can look up the waiter (and its recycled Response slice)
+// before parsing the items into it.
+func peekBatchReplyID(payload []byte) (uint64, error) {
+	r := &reader{b: payload}
+	if t := r.u8(); t != msgBatchReply {
+		return 0, fmt.Errorf("service: expected BatchReply, got message type %d", t)
+	}
+	id := r.u64()
+	if r.err != nil {
+		return 0, r.err
+	}
+	return id, nil
+}
+
+// parseBatchReplyInto is parseBatchReply reusing scratch: both the
+// Response slice capacity and each retained Response's ErrHat capacity
+// are recycled, so a warm client parses replies without allocating. Each
+// ErrHat is still a private copy of the payload bytes (never a view), so
+// callers may retain responses past the frame's lifetime.
+func parseBatchReplyInto(payload []byte, mechBytes int, scratch []Response) (batchID uint64, resps []Response, err error) {
 	r := &reader{b: payload}
 	if t := r.u8(); t != msgBatchReply {
 		return 0, nil, fmt.Errorf("service: expected BatchReply, got message type %d", t)
@@ -596,7 +685,11 @@ func parseBatchReply(payload []byte, mechBytes int) (batchID uint64, resps []Res
 		return 0, nil, fmt.Errorf("service: reply of %d responses carries %d bytes, want %d",
 			count, got, count*(replyItemFixedLen+mechBytes))
 	}
-	resps = make([]Response, count)
+	scratch = scratch[:cap(scratch)]
+	if len(scratch) < count {
+		scratch = append(scratch, make([]Response, count-len(scratch))...)
+	}
+	resps = scratch[:count]
 	for i := range resps {
 		flags := r.u8()
 		resps[i].Success = flags&flagSuccess != 0
@@ -605,7 +698,7 @@ func parseBatchReply(payload []byte, mechBytes int) (batchID uint64, resps []Res
 		resps[i].Iterations = int(r.u32())
 		resps[i].FlipCount = int(r.u32())
 		resps[i].Latency = time.Duration(r.i64())
-		resps[i].ErrHat = append([]byte(nil), r.bytes(mechBytes)...)
+		resps[i].ErrHat = append(resps[i].ErrHat[:0], r.bytes(mechBytes)...)
 	}
 	return batchID, resps, r.err
 }

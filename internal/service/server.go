@@ -47,6 +47,14 @@ type Options struct {
 	// TraceSlots is the retention capacity of the slowest-request trace
 	// ring served on /statusz (default 32).
 	TraceSlots int
+	// IdleTimeout bounds the gap between two client frames on a session:
+	// a session whose client sends nothing for this long is dropped, so a
+	// stalled or vanished peer cannot pin its goroutine (and its arenas)
+	// forever. 0 disables (the pre-PR10 behavior).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one socket flush toward the client; a peer that
+	// stops reading its replies is dropped after this long. 0 disables.
+	WriteTimeout time.Duration
 	// DisableBatchDecode turns off the bitsliced batch fast path (pools
 	// then decode every request scalar, as before PR8). The zero value
 	// keeps it enabled: it is response-byte-identical to the scalar path
@@ -123,7 +131,9 @@ type Server struct {
 	opts  Options
 	start time.Time
 
-	ln          net.Listener
+	lnMu        sync.Mutex
+	ln          net.Listener   // first listener (Addr)
+	listeners   []net.Listener // every live listener (TCP and/or UDS)
 	pools       sync.Map // pool key → *poolEntry
 	dems        sync.Map // code/rounds → *demEntry
 	windowPools sync.Map // pool key + W/C → *windowPoolEntry
@@ -170,30 +180,56 @@ func NewServer(opts Options) *Server {
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Listen binds addr ("host:port"; port 0 picks a free port, see Addr) and
-// starts accepting sessions in the background.
+// starts accepting sessions in the background. Listen and ListenUnix may
+// both be active: the same service then answers TCP and co-located UDS
+// clients.
 func (s *Server) Listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	s.ln = ln
-	s.sessions.Add(1) // the accept loop itself
-	go s.acceptLoop()
+	s.addListener(ln)
 	return nil
 }
 
-// Addr returns the bound listen address (nil before Listen).
+// ListenUnix binds a Unix-domain stream socket at path — the co-located
+// client transport (bpsf-serve -uds): same wire protocol, no TCP stack
+// in the round trip. A stale socket file from a previous run is an
+// ordinary bind error; callers remove it first.
+func (s *Server) ListenUnix(path string) error {
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return err
+	}
+	s.addListener(ln)
+	return nil
+}
+
+func (s *Server) addListener(ln net.Listener) {
+	s.lnMu.Lock()
+	if s.ln == nil {
+		s.ln = ln
+	}
+	s.listeners = append(s.listeners, ln)
+	s.lnMu.Unlock()
+	s.sessions.Add(1) // the accept loop itself
+	go s.acceptLoop(ln)
+}
+
+// Addr returns the first bound listen address (nil before Listen).
 func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
 	if s.ln == nil {
 		return nil
 	}
 	return s.ln.Addr()
 }
 
-func (s *Server) acceptLoop() {
+func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.sessions.Done()
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed (Drain)
 		}
@@ -212,9 +248,11 @@ func (s *Server) acceptLoop() {
 // per-pool stats.
 func (s *Server) Drain(grace time.Duration) []PoolStats {
 	if s.draining.CompareAndSwap(false, true) {
-		if s.ln != nil {
-			s.ln.Close()
+		s.lnMu.Lock()
+		for _, ln := range s.listeners {
+			ln.Close()
 		}
+		s.lnMu.Unlock()
 		done := make(chan struct{})
 		go func() {
 			s.sessions.Wait()
@@ -355,17 +393,63 @@ func validateHello(h Hello) (Hello, error) {
 
 // batchJob is one batch's in-flight state: the responses under fill by
 // pool workers, the per-request stage spans (recorded by the reply
-// writer once the reply frame is flushed) and the barrier the reply
-// writer waits on. A job with stats set is a telemetry barrier instead:
-// the writer answers it with a fresh ServerSnapshot, so the snapshot
-// provably includes every batch the session submitted before the stats
-// request — the reconciliation guarantee Client.Stats documents.
+// writer once the reply frame is flushed), the embedded request slots
+// the pool decodes from, and the barrier the reply writer waits on.
+// pending mirrors the WaitGroup as a peekable count: the reply writer
+// reads it to decide whether the next queued reply will complete without
+// blocking (join the current coalesced socket flush) or not (flush now).
+// A job with stats set is a telemetry barrier instead: the writer
+// answers it with a fresh ServerSnapshot, so the snapshot provably
+// includes every batch the session submitted before the stats request —
+// the reconciliation guarantee Client.Stats documents.
+//
+// Jobs live on a per-session free list (DESIGN.md §13): the reply writer
+// recycles a job after its frame is flushed, and the read loop's next
+// batch reuses the job's Response slice (each Response keeping its ErrHat
+// capacity), span slice, and request slots (each keeping its syndrome
+// vector) — so a warm session's request round-trip allocates nothing.
 type batchJob struct {
-	id    uint64
-	wg    sync.WaitGroup
-	resps []Response
-	spans []obs.Span
-	stats bool
+	id      uint64
+	wg      sync.WaitGroup
+	pending atomic.Int32
+	resps   []Response
+	spans   []obs.Span
+	reqs    []request
+	stats   bool
+}
+
+// sized readies the job for n requests, growing each slice only past its
+// high-water mark and resetting reused entries: responses are zeroed with
+// their ErrHat capacity kept (a recycled Response must not leak a stale
+// Shed flag or estimate into the next batch), spans are re-begun by the
+// read loop, request slots are overwritten field-by-field at submit.
+func (job *batchJob) sized(n int) *batchJob {
+	job.stats = false
+	job.wg.Add(n)
+	job.pending.Store(int32(n))
+
+	resps := job.resps[:cap(job.resps)]
+	for len(resps) < n {
+		resps = append(resps, Response{})
+	}
+	job.resps = resps[:n]
+	for i := range job.resps {
+		eh := job.resps[i].ErrHat
+		job.resps[i] = Response{ErrHat: eh[:0]}
+	}
+
+	spans := job.spans[:cap(job.spans)]
+	for len(spans) < n {
+		spans = append(spans, obs.Span{})
+	}
+	job.spans = spans[:n]
+
+	reqs := job.reqs[:cap(job.reqs)]
+	for len(reqs) < n {
+		reqs = append(reqs, request{})
+	}
+	job.reqs = reqs[:n]
+	return job
 }
 
 func (s *Server) session(conn net.Conn) {
@@ -373,6 +457,7 @@ func (s *Server) session(conn net.Conn) {
 	sessionsActive := s.reg.Gauge("bpsf_sessions_active")
 	s.reg.Counter("bpsf_sessions_total").Inc()
 	sessionsActive.Add(1)
+	arena := obs.NewArenaCounters(s.reg)
 	defer func() {
 		sessionsActive.Add(-1)
 		conn.Close()
@@ -386,9 +471,18 @@ func (s *Server) session(conn net.Conn) {
 	// writeMu serializes frame writes: the reply-writer goroutine and the
 	// read loop's error path share the connection
 	var writeMu sync.Mutex
+	// armWrite sets the per-flush write deadline (a peer that stops
+	// reading replies is dropped, not waited on forever). Caller holds
+	// writeMu.
+	armWrite := func() {
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+	}
 	writeOut := func(payload []byte) error {
 		writeMu.Lock()
 		defer writeMu.Unlock()
+		armWrite()
 		if err := writeFrame(bw, payload); err != nil {
 			return err
 		}
@@ -399,7 +493,28 @@ func (s *Server) session(conn net.Conn) {
 		s.opts.Logf("session %s: %v", conn.RemoteAddr(), err)
 	}
 
-	payload, err := readFrame(br, s.opts.MaxFrame)
+	// readNext reads one frame into the session's arena buffer
+	// (DESIGN.md §13): the payload is valid until the next readNext, and
+	// anything retained past that must be copied. The idle deadline is
+	// re-armed per frame.
+	var readBuf []byte
+	readNext := func() ([]byte, error) {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		payload, err := readFrameInto(br, s.opts.MaxFrame, readBuf)
+		if err != nil {
+			return nil, err
+		}
+		arena.FrameReads.Inc()
+		if cap(payload) > cap(readBuf) {
+			arena.FrameGrows.Inc()
+		}
+		readBuf = payload
+		return payload, nil
+	}
+
+	payload, err := readNext()
 	if err != nil {
 		s.opts.Logf("session %s: hello read: %v", conn.RemoteAddr(), err)
 		return
@@ -437,54 +552,122 @@ func (s *Server) session(conn net.Conn) {
 	// Reply writer: batches complete out of order across pool workers, but
 	// replies go back in submission order — the channel is the order, the
 	// WaitGroup the completion barrier. Its capacity bounds the session's
-	// pipelining. Once a reply frame is flushed, the writer closes each
-	// request's write stage and folds the span into the server's stage
-	// histograms and slow-trace ring (shed requests are skipped: their
-	// spans never reached the decode stage).
+	// pipelining. Socket writes are coalesced (DESIGN.md §13): a reply
+	// frame is buffered, and the flush is deferred while the next queued
+	// job is already complete (peeked via job.pending), so a burst of
+	// ready replies rides one syscall. Once a flush lands, the writer
+	// closes each covered request's write stage and folds the span into
+	// the server's stage histograms and slow-trace ring (shed requests
+	// are skipped: their spans never reached the decode stage), then
+	// recycles the job onto the session free list.
 	jobs := make(chan *batchJob, s.opts.Pipeline)
+	freeJobs := make(chan *batchJob, s.opts.Pipeline+2)
+	getJob := func(n int) *batchJob {
+		var job *batchJob
+		select {
+		case job = <-freeJobs:
+			arena.JobsReused.Inc()
+		default:
+			job = &batchJob{}
+			arena.JobsFresh.Inc()
+		}
+		return job.sized(n)
+	}
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
 		var writeErr error
 		buf := make([]byte, 0, batchHeaderLen)
-		for job := range jobs {
+		unflushed := make([]*batchJob, 0, 8)
+		recycle := func(job *batchJob) {
+			select {
+			case freeJobs <- job:
+			default: // free list full; let the GC have it
+			}
+		}
+		flush := func() {
+			if len(unflushed) == 0 {
+				return
+			}
+			if writeErr == nil {
+				writeMu.Lock()
+				armWrite()
+				writeErr = bw.Flush()
+				writeMu.Unlock()
+				arena.WriteFlushes.Inc()
+			}
+			flushT := time.Now()
+			for _, job := range unflushed {
+				if writeErr == nil {
+					for i := range job.spans {
+						if job.resps[i].Shed {
+							continue
+						}
+						sp := &job.spans[i]
+						sp.Mark(obs.StageWrite, flushT)
+						s.stages.Record(sp)
+						s.traces.Offer(obs.Trace{
+							End:   sp.End().UnixNano(),
+							Total: sp.Total(),
+							Stages: [obs.NumStages]time.Duration{
+								sp.Stage(obs.StageAdmit), sp.Stage(obs.StageQueue),
+								sp.Stage(obs.StageCoalesce), sp.Stage(obs.StageDecode),
+								sp.Stage(obs.StageWrite),
+							},
+						})
+					}
+				}
+				recycle(job)
+			}
+			unflushed = unflushed[:0]
+		}
+		for {
+			var job *batchJob
+			var ok bool
+			if len(unflushed) > 0 {
+				// frames are buffered: push them to the socket before blocking
+				select {
+				case job, ok = <-jobs:
+				default:
+					flush()
+					job, ok = <-jobs
+				}
+			} else {
+				job, ok = <-jobs
+			}
+			if !ok {
+				flush()
+				return
+			}
+			if len(unflushed) > 0 && job.pending.Load() != 0 {
+				// the next reply is not ready: flush while we wait for it
+				flush()
+			}
 			job.wg.Wait()
 			if writeErr != nil {
+				recycle(job)
 				continue // connection is gone; keep draining barriers
 			}
 			if job.stats {
-				// telemetry barrier: every earlier job's spans are recorded by
-				// now, so the snapshot reconciles with the session's history
-				writeErr = writeOut(appendStatsReply(nil, s.Snapshot()))
-				continue
-			}
-			buf = appendBatchReplyHeader(buf[:0], job.id, len(job.resps))
-			for i := range job.resps {
-				buf = appendResponse(buf, &job.resps[i], mechBytes)
-			}
-			writeErr = writeOut(buf)
-			if writeErr != nil {
-				continue
-			}
-			flushT := time.Now()
-			for i := range job.spans {
-				if job.resps[i].Shed {
-					continue
+				// telemetry barrier: flush first so every earlier job's span
+				// is folded into the stage histograms, then snapshot — the
+				// reply provably reconciles with the session's history. The
+				// reply reuses the writer's scratch buffer — the pre-PR10
+				// writer rebuilt it from nil on every barrier.
+				flush()
+				buf = appendStatsReply(buf[:0], s.Snapshot())
+			} else {
+				buf = appendBatchReplyHeader(buf[:0], job.id, len(job.resps))
+				for i := range job.resps {
+					buf = appendResponse(buf, &job.resps[i], mechBytes)
 				}
-				sp := &job.spans[i]
-				sp.Mark(obs.StageWrite, flushT)
-				s.stages.Record(sp)
-				s.traces.Offer(obs.Trace{
-					End:   sp.End().UnixNano(),
-					Total: sp.Total(),
-					Stages: [obs.NumStages]time.Duration{
-						sp.Stage(obs.StageAdmit), sp.Stage(obs.StageQueue),
-						sp.Stage(obs.StageCoalesce), sp.Stage(obs.StageDecode),
-						sp.Stage(obs.StageWrite),
-					},
-				})
 			}
+			writeMu.Lock()
+			writeErr = writeFrame(bw, buf)
+			writeMu.Unlock()
+			arena.WriteFrames.Inc()
+			unflushed = append(unflushed, job)
 		}
 	}()
 
@@ -498,22 +681,47 @@ func (s *Server) session(conn net.Conn) {
 	streams := newSessionStreams(s, h, p.dem.NumMechs())
 	defer streams.closeAll()
 	maxBatch := batchLimit(s.opts.MaxFrame, p.dem.NumDets, p.dem.NumMechs())
+	// fill readies request slot i of a job for admission: the embedded
+	// slots and their syndrome vectors are recycled with the job, so a
+	// warm session admits without allocating.
+	fill := func(job *batchJob, i int, frameT time.Time) *request {
+		rq := &job.reqs[i]
+		if rq.syndrome.Len() != p.dem.NumDets {
+			rq.syndrome = gf2.NewVec(p.dem.NumDets)
+		}
+		sp := &job.spans[i]
+		sp.Begin(frameT)
+		now := time.Now()
+		sp.Mark(obs.StageAdmit, now)
+		rq.seed = RequestSeed(h.StreamSeed, reqIndex)
+		rq.enqueued = now
+		rq.deadline = h.Deadline
+		rq.affinity = int(id)
+		rq.wantObs = nil
+		rq.resp = &job.resps[i]
+		rq.span = sp
+		rq.pending = &job.pending
+		rq.wg = &job.wg
+		reqIndex++
+		return rq
+	}
 	// Server-side sampling state (msgSample): one word-parallel batch
 	// sampler per session, built on first use and seeded from the session's
 	// StreamSeed, so sampled shot j of the session is a pure function of
 	// (Hello, j) — lane j mod 64 of block j/64 — regardless of how requests
 	// split the stream. Decoder seeds still advance through reqIndex.
 	var sampleCur *frame.Cursor
+	var synScratch [][]byte // parseBatchInto view arena, recycled per frame
 read:
 	for {
-		payload, err := readFrame(br, s.opts.MaxFrame)
+		payload, err := readNext()
 		if err != nil {
 			break // EOF = client done; anything else ends the session too
 		}
 		frameT := time.Now()
 		switch payload[0] {
 		case msgBatch:
-			batchID, syndromes, perr := parseBatch(payload, detBytes)
+			batchID, syndromes, perr := parseBatchInto(payload, detBytes, synScratch)
 			if perr == nil && len(syndromes) > maxBatch {
 				perr = fmt.Errorf("service: batch of %d syndromes exceeds session limit %d (reply would overflow the frame guard)",
 					len(syndromes), maxBatch)
@@ -522,32 +730,18 @@ read:
 				fail(perr)
 				break read
 			}
-			job := &batchJob{id: batchID,
-				resps: make([]Response, len(syndromes)),
-				spans: make([]obs.Span, len(syndromes))}
-			job.wg.Add(len(syndromes))
+			synScratch = syndromes
+			job := getJob(len(syndromes))
+			job.id = batchID
 			jobs <- job // reserve the reply slot before admission
 			for i, raw := range syndromes {
-				vec := gf2.NewVec(p.dem.NumDets)
-				if err := vec.SetBytes(raw); err != nil {
+				rq := fill(job, i, frameT)
+				if err := rq.syndrome.SetBytes(raw); err != nil {
 					// parseBatch already checked lengths; defensive only
-					job.wg.Done()
+					rq.finish()
 					continue
 				}
-				sp := &job.spans[i]
-				sp.Begin(frameT)
-				now := time.Now()
-				sp.Mark(obs.StageAdmit, now)
-				p.submit(&request{
-					syndrome: vec,
-					seed:     RequestSeed(h.StreamSeed, reqIndex),
-					enqueued: now,
-					deadline: h.Deadline,
-					resp:     &job.resps[i],
-					span:     sp,
-					wg:       &job.wg,
-				})
-				reqIndex++
+				p.submit(rq)
 			}
 		case msgSample:
 			batchID, count, perr := parseSample(payload)
@@ -563,31 +757,18 @@ read:
 				sampler := frame.NewDEMSampler(p.dem, h.P, SampleSeed(h.StreamSeed))
 				sampleCur = frame.NewCursor(sampler.SampleBlock)
 			}
-			job := &batchJob{id: batchID,
-				resps: make([]Response, count),
-				spans: make([]obs.Span, count)}
-			job.wg.Add(count)
+			job := getJob(count)
+			job.id = batchID
 			jobs <- job // reserve the reply slot before admission
 			for i := 0; i < count; i++ {
 				sb, ob := sampleCur.Next()
-				vec := gf2.NewVec(p.dem.NumDets)
-				_ = vec.SetBytes(sb) // geometry fixed by the DEM
-				want := append([]byte(nil), ob...)
-				sp := &job.spans[i]
-				sp.Begin(frameT)
-				now := time.Now()
-				sp.Mark(obs.StageAdmit, now)
-				p.submit(&request{
-					syndrome: vec,
-					seed:     RequestSeed(h.StreamSeed, reqIndex),
-					enqueued: now,
-					deadline: h.Deadline,
-					wantObs:  want,
-					resp:     &job.resps[i],
-					span:     sp,
-					wg:       &job.wg,
-				})
-				reqIndex++
+				rq := fill(job, i, frameT)
+				_ = rq.syndrome.SetBytes(sb) // geometry fixed by the DEM
+				// the cursor's block is rewritten 64 lanes at a time: keep a
+				// private copy of the ground truth in the slot's arena
+				rq.wantBuf = append(rq.wantBuf[:0], ob...)
+				rq.wantObs = rq.wantBuf
+				p.submit(rq)
 			}
 		case msgStats:
 			if perr := parseStatsRequest(payload); perr != nil {
@@ -595,7 +776,9 @@ read:
 				break read
 			}
 			s.reg.Counter("bpsf_stats_requests_total").Inc()
-			jobs <- &batchJob{stats: true} // answered by the reply writer, in order
+			job := getJob(0)
+			job.stats = true
+			jobs <- job // answered by the reply writer, in order
 		case msgStreamOpen:
 			ack, oerr := streams.open(payload)
 			if oerr != nil {

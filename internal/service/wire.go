@@ -42,6 +42,17 @@ func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	return readFrame(r, maxFrame)
 }
 
+// ReadFrameInto is ReadFrame through a caller-owned arena: the payload is
+// read into buf's capacity (growing only when a frame exceeds it) and the
+// returned slice aliases it. The contract is the same as the server's own
+// read path (DESIGN.md §13): the payload is valid until the next
+// ReadFrameInto with the same buffer, and a caller retaining bytes past
+// that — the gateway's replay journal, for one — must copy them. Pass the
+// returned slice back as buf on the next call.
+func ReadFrameInto(r io.Reader, maxFrame int, buf []byte) ([]byte, error) {
+	return readFrameInto(r, maxFrame, buf)
+}
+
 // WriteFrame writes payload as one length-prefixed frame. Callers using a
 // buffered writer flush themselves (the gateway flushes per frame on both
 // hops).
@@ -119,19 +130,28 @@ func ParseStatsReplyFrame(payload []byte) (ServerSnapshot, error) {
 // a copy unmodified — the comparison then fails loudly instead of
 // masking bytes at a wrong offset.
 func CanonicalFrame(payload []byte, mechBytes int) []byte {
-	out := append([]byte(nil), payload...)
+	return AppendCanonicalFrame(nil, payload, mechBytes)
+}
+
+// AppendCanonicalFrame is CanonicalFrame appending into dst — the
+// gateway's replay comparator canonicalizes every frame of a re-driven
+// session, so it recycles one buffer instead of copying per frame.
+func AppendCanonicalFrame(dst, payload []byte, mechBytes int) []byte {
+	base := len(dst)
+	dst = append(dst, payload...)
+	out := dst[base:]
 	if len(out) == 0 {
-		return out
+		return dst
 	}
 	switch out[0] {
 	case msgBatchReply:
 		if len(out) < batchHeaderLen {
-			return out
+			return dst
 		}
 		count := int(binary.LittleEndian.Uint16(out[1+8:]))
 		itemLen := replyItemFixedLen + mechBytes
 		if len(out) != batchHeaderLen+count*itemLen {
-			return out
+			return dst
 		}
 		for i := 0; i < count; i++ {
 			// flags(1) + iterations(4) + flipCount(4), then latency(8)
@@ -143,11 +163,11 @@ func CanonicalFrame(payload []byte, mechBytes int) []byte {
 		// latency(8)
 		const off = 1 + 8 + 4 + 1 + 2 + 2
 		if len(out) < off+8 {
-			return out
+			return dst
 		}
 		clear(out[off : off+8])
 	}
-	return out
+	return dst
 }
 
 // FrameType returns payload[0], the message-type byte (0 for an empty
